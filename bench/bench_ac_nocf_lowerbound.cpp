@@ -1,0 +1,76 @@
+// E9 -- Theorem 9: with an accurate detector but no collision freedom,
+// anonymous consensus needs at least lg|V| - 1 rounds.  Processes are
+// reduced to one bit per round (silence vs collision), so they must spell
+// their value out.
+//
+// Two executable pieces:
+//  (a) the counting argument: beta executions (all same value, total loss)
+//      are summarized by binary broadcast sequences; 2^k sequences of
+//      length k force collisions once more than 2^k values are tried;
+//  (b) the matching behaviour: Algorithm 3's decision round always sits at
+//      or above the lg|V| - 1 floor (and within its own 8*lg|V| ceiling).
+#include <iostream>
+
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "lowerbound/alpha_execution.hpp"
+#include "lowerbound/broadcast_sequence.hpp"
+#include "util/bitcodec.hpp"
+#include "util/table.hpp"
+
+namespace ccd {
+namespace {
+
+void pigeonhole() {
+  std::cout << "--- (a) Theorem 9 pigeonhole over binary broadcast "
+               "sequences ---\n";
+  AsciiTable table({"k (rounds)", "2^k", "candidates tried", "collision",
+                    "pair"});
+  const std::uint64_t num_values = 1u << 14;
+  Alg3Algorithm alg(num_values);
+  for (Round k = 1; k <= 10; ++k) {
+    const std::uint64_t budget = (1ull << k) + 1;
+    const auto pair = find_beta_collision(alg, 3, num_values, k, budget);
+    table.add(k, 1ull << k, budget < num_values ? budget : num_values,
+              pair.has_value(),
+              pair ? std::to_string(pair->v1) + "," + std::to_string(pair->v2)
+                   : std::string("-"));
+  }
+  table.print(std::cout);
+  std::cout << "colliding values compose into an execution no process can "
+               "distinguish for k rounds => no decision before lg|V| - 1 "
+               "rounds.\n";
+}
+
+void matching_behaviour() {
+  std::cout << "\n--- (b) Algorithm 3 decision rounds vs the lg|V|-1 floor "
+               "and 8lg|V| ceiling ---\n";
+  AsciiTable table({"|V|", "floor lg|V|-1", "decision round",
+                    "ceiling 8lg|V|", "within"});
+  for (std::uint64_t num_values :
+       {4ull, 16ull, 256ull, 4096ull, 1ull << 16, 1ull << 20}) {
+    Alg3Algorithm alg(num_values);
+    const Round ceiling = 8 * ceil_log2(num_values);
+    const BetaResult result = run_beta(alg, 3, num_values - 1, ceiling + 8);
+    const Round floor_bound =
+        ceil_log2(num_values) > 0 ? ceil_log2(num_values) - 1 : 0;
+    table.add(num_values, floor_bound, result.last_decision_round, ceiling,
+              result.all_decided &&
+                  result.last_decision_round >= floor_bound &&
+                  result.last_decision_round <= ceiling);
+  }
+  table.print(std::cout);
+  std::cout << "\nRESULT: logarithmic rounds are NECESSARY with accuracy "
+               "but no ECF (Theorem 9), and Algorithm 3 matches within a "
+               "constant factor.\n";
+}
+
+}  // namespace
+}  // namespace ccd
+
+int main() {
+  std::cout << "=== E9: the accurate-but-NoCF lower bound (Theorem 9) "
+               "===\n\n";
+  ccd::pigeonhole();
+  ccd::matching_behaviour();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E11 -- Section 1.3's contention manager discussion: a concrete
+// randomized backoff protocol realizes the wake-up service.  Stabilization
+// time is probabilistic; safety of the consensus layer never depends on it
+// (the safety/liveness separation).
+#include <iostream>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/backoff_cm.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/capture_effect.hpp"
+#include "net/ecf_adversary.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ccd {
+namespace {
+
+void stabilization_scaling() {
+  std::cout << "--- backoff lock-in time vs n (rounds until exactly one "
+               "process stays active) ---\n";
+  AsciiTable table({"n", "median", "p90", "max", "seeds"});
+  for (std::size_t n : {2, 4, 8, 16, 32, 64, 128}) {
+    Stats lock;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      BackoffCm cm(BackoffCm::Options{.seed = seed});
+      std::vector<bool> alive(n, true);
+      std::vector<CmAdvice> advice;
+      for (Round r = 1; r <= 5000; ++r) {
+        cm.advise(r, alive, advice);
+        if (cm.stabilized_at() != kNeverRound) break;
+      }
+      if (cm.stabilized_at() != kNeverRound) {
+        lock.add(static_cast<double>(cm.stabilized_at()));
+      }
+    }
+    table.add(n, lock.median(), lock.percentile(90), lock.max(),
+              lock.count());
+  }
+  table.print(std::cout);
+}
+
+void consensus_over_backoff() {
+  std::cout << "\n--- consensus over the backoff manager + capture-effect "
+               "radio (end-to-end realistic stack) ---\n";
+  AsciiTable table({"algorithm", "|V|", "seeds solved", "safety ok",
+                    "decision round p90"});
+  for (int which = 0; which < 2; ++which) {
+    Alg1Algorithm alg1;
+    Alg2Algorithm alg2(256);
+    const ConsensusAlgorithm& alg =
+        which == 0 ? static_cast<const ConsensusAlgorithm&>(alg1)
+                   : static_cast<const ConsensusAlgorithm&>(alg2);
+    const DetectorSpec spec =
+        which == 0 ? DetectorSpec::MajOAC(30) : DetectorSpec::ZeroOAC(30);
+    Stats rounds;
+    int solved = 0;
+    bool safety = true;
+    const int trials = 25;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      CaptureEffectLoss::Options radio;
+      radio.r_cf = 30;
+      radio.seed = seed;
+      World world = make_world(
+          alg, random_initial_values(12, 256, seed),
+          std::make_unique<BackoffCm>(BackoffCm::Options{.seed = seed * 3}),
+          std::make_unique<OracleDetector>(
+              spec, std::make_unique<FlakyMajorityPolicy>(0.9, seed * 5)),
+          std::make_unique<CaptureEffectLoss>(radio),
+          std::make_unique<NoFailures>());
+      const RunSummary s = run_consensus(std::move(world), 3000);
+      safety = safety && s.verdict.agreement && s.verdict.strong_validity;
+      if (s.verdict.termination) {
+        ++solved;
+        rounds.add(static_cast<double>(s.verdict.last_decision_round));
+      }
+    }
+    table.add(alg.name(), 256,
+              std::to_string(solved) + "/" + std::to_string(trials), safety,
+              rounds.empty() ? -1.0 : rounds.percentile(90));
+  }
+  table.print(std::cout);
+  std::cout << "\nRESULT: liveness becomes probabilistic with a real "
+               "backoff manager; safety is untouched -- exactly the "
+               "separation Section 1.3 argues for.\n";
+}
+
+}  // namespace
+}  // namespace ccd
+
+int main() {
+  std::cout << "=== E11: realizing the wake-up service with randomized "
+               "backoff (Section 1.3) ===\n\n";
+  ccd::stabilization_scaling();
+  ccd::consensus_over_backoff();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E10 -- the paper's headline (Section 1.5 results summary): the
+// complexity landscape of consensus as a function of detector strength.
+//
+//   maj-<>AC + ECF      : constant (CST + 2)            [Algorithm 1]
+//   0-<>AC   + ECF      : Theta(lg|V|) after CST        [Algorithm 2]
+//   0-<>AC   + ECF + IDs: Theta(min{lg|V|, lg|I|})      [Algorithm 4]
+//   0-AC     + NoCF     : Theta(lg|V|) after failures   [Algorithm 3]
+//
+// One table, rounds vs |V|: the constant row stays flat while the
+// logarithmic rows climb by a fixed increment per doubling -- the gap
+// between "detects half losses" and "detects majority losses".
+#include <iostream>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/no_cm.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/alg4_non_anonymous.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/ecf_adversary.hpp"
+#include "net/unrestricted_loss.hpp"
+#include "util/bitcodec.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ccd {
+namespace {
+
+double ecf_rounds_after_cst(const ConsensusAlgorithm& alg,
+                            std::uint64_t num_values, DetectorSpec spec) {
+  Stats stats;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Round cst = 8;
+    WakeupService::Options ws;
+    ws.r_wake = cst;
+    ws.seed = seed;
+    EcfAdversary::Options ecf;
+    ecf.r_cf = cst;
+    ecf.contention = EcfAdversary::ContentionMode::kCapture;
+    ecf.seed = seed * 3;
+    spec.r_acc = cst;
+    World world = make_world(
+        alg, random_initial_values(8, num_values, seed * 5),
+        std::make_unique<WakeupService>(ws),
+        std::make_unique<OracleDetector>(spec, make_truthful_policy()),
+        std::make_unique<EcfAdversary>(ecf),
+        std::make_unique<NoFailures>());
+    const RunSummary s = run_consensus(std::move(world), cst + 8000);
+    if (s.verdict.solved()) {
+      stats.add(static_cast<double>(s.rounds_after_cst));
+    }
+  }
+  return stats.empty() ? -1 : stats.max();
+}
+
+double nocf_rounds(std::uint64_t num_values) {
+  Stats stats;
+  Alg3Algorithm alg(num_values);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    World world = make_world(
+        alg, random_initial_values(8, num_values, seed),
+        std::make_unique<NoCm>(),
+        std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                         make_truthful_policy()),
+        std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+            UnrestrictedLoss::Mode::kDropOthers, 0.0, seed}),
+        std::make_unique<NoFailures>());
+    const RunSummary s = run_consensus(std::move(world), 8000);
+    if (s.verdict.solved()) {
+      stats.add(static_cast<double>(s.verdict.last_decision_round));
+    }
+  }
+  return stats.empty() ? -1 : stats.max();
+}
+
+}  // namespace
+}  // namespace ccd
+
+int main() {
+  using namespace ccd;
+  std::cout << "=== E10: the detector-strength complexity gap (Section 1.5 "
+               "summary) ===\n\n";
+  std::cout << "worst-case rounds after stabilization, by |V| (n = 8):\n\n";
+  AsciiTable table({"|V|", "lg|V|", "Alg1 maj-<>AC (const)",
+                    "Alg2 0-<>AC (2lg|V|+2)", "Alg4 IDs |I|=16",
+                    "Alg3 0-AC NoCF (8lg|V|)"});
+  for (std::uint64_t num_values :
+       {2ull, 16ull, 256ull, 4096ull, 1ull << 16, 1ull << 20}) {
+    Alg1Algorithm alg1;
+    Alg2Algorithm alg2(num_values);
+    Alg4Algorithm alg4(num_values, 16);
+    table.add(num_values, ceil_log2(num_values),
+              ecf_rounds_after_cst(alg1, num_values, DetectorSpec::MajOAC(1)),
+              ecf_rounds_after_cst(alg2, num_values, DetectorSpec::ZeroOAC(1)),
+              ecf_rounds_after_cst(alg4, num_values, DetectorSpec::ZeroOAC(1)),
+              nocf_rounds(num_values));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nshape check: column 3 flat at 2; column 4 climbs ~2 per "
+         "doubling; column 5 plateaus at the lg|I| election cost once |V| > "
+         "|I|; column 6 climbs ~8 per doubling.\nOne message of detector "
+         "sensitivity (half vs majority) separates constant from "
+         "logarithmic -- the paper's central finding.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E6 -- Theorems 4 and 5: consensus is IMPOSSIBLE without collision
+// detection (NoCD) or without eventual accuracy (NoACC), even with a
+// leader election service and eventual collision freedom.
+//
+// An impossibility result is demonstrated as a dichotomy over the
+// adversary's composition execution (partition through round k with two
+// group leaders, healed afterwards -- exactly the proof's construction):
+//   * a protocol that dares to decide without trustworthy detector
+//     information (NaiveNoCd) decides both group values -> AGREEMENT
+//     VIOLATION;
+//   * the paper's safe algorithms, handed a NoCD/NoACC detector, never
+//     pass their decide guards -> NO TERMINATION.
+// No protocol can thread the needle; that is the theorem.
+#include <iostream>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/harness.hpp"
+#include "consensus/naive_no_cd.hpp"
+#include "fault/failure_adversary.hpp"
+#include "lowerbound/composition.hpp"
+#include "net/ecf_adversary.hpp"
+#include "util/table.hpp"
+
+namespace ccd {
+namespace {
+
+void naive_violations() {
+  std::cout << "--- the deciding horn: NaiveNoCd under the Theorem 4 "
+               "composition ---\n";
+  AsciiTable table({"group size", "k (partition)", "group A decided",
+                    "group B decided", "agreement"});
+  for (std::size_t g : {2, 4, 8}) {
+    for (Round k : {5u, 20u}) {
+      NaiveNoCdAlgorithm alg(/*patience=*/200);
+      CompositionConfig config;
+      config.group_size = g;
+      config.value_a = 1;
+      config.value_b = 2;
+      config.k = k;
+      config.spec = DetectorSpec::NoCD();
+      config.max_rounds = 300;
+      const CompositionOutcome outcome = run_composition(alg, config);
+      table.add(g, k, outcome.group_a_value, outcome.group_b_value,
+                outcome.summary.verdict.agreement);
+    }
+  }
+  table.print(std::cout);
+}
+
+void safe_algorithms_stall() {
+  std::cout << "\n--- the safe horn: real algorithms + NoCD / NoACC "
+               "detector never terminate ---\n";
+  AsciiTable table(
+      {"algorithm", "detector class", "rounds simulated", "decisions",
+       "termination"});
+  const Round horizon = 2000;
+  for (int which = 0; which < 2; ++which) {
+    for (int cls = 0; cls < 2; ++cls) {
+      Alg1Algorithm alg1;
+      Alg2Algorithm alg2(16);
+      const ConsensusAlgorithm& alg =
+          which == 0 ? static_cast<const ConsensusAlgorithm&>(alg1)
+                     : static_cast<const ConsensusAlgorithm&>(alg2);
+      const DetectorSpec spec =
+          cls == 0 ? DetectorSpec::NoCD() : DetectorSpec::NoAcc();
+      WakeupService::Options ws;
+      ws.r_wake = 1;
+      EcfAdversary::Options ecf;
+      ecf.r_cf = 1;
+      World world = make_world(
+          alg, random_initial_values(4, 16, 3),
+          std::make_unique<WakeupService>(ws),
+          std::make_unique<OracleDetector>(
+              spec, cls == 0 ? make_prefer_null_policy()
+                             : make_prefer_collision_policy()),
+          std::make_unique<EcfAdversary>(ecf),
+          std::make_unique<NoFailures>());
+      const RunSummary s = run_consensus(std::move(world), horizon);
+      table.add(alg.name(), spec.class_name(), horizon,
+                s.verdict.decided_values.size(), s.verdict.termination);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nRESULT: decide without trustworthy detection -> agreement "
+               "violated; stay safe -> never decide.  Consensus needs a "
+               "detector with (eventual) accuracy (Theorems 4 & 5).\n";
+}
+
+}  // namespace
+}  // namespace ccd
+
+int main() {
+  std::cout << "=== E6: impossibility without collision detection "
+               "(Theorems 4 & 5) ===\n\n";
+  ccd::naive_violations();
+  ccd::safe_algorithms_stall();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E8 -- Theorem 8: without eventual collision freedom, a detector that is
+// complete but only EVENTUALLY accurate cannot solve consensus.  Collision
+// notifications are the only channel left, and eventual accuracy makes it
+// impossible to tell a real report from a false positive.
+//
+// Demonstration: Algorithm 3 is correct with an always-accurate detector
+// under total loss (Theorem 3).  Swap in an eventually-accurate detector
+// (complete, spurious before r_acc) and the joint tree walk desynchronizes:
+// some seeds produce agreement or validity violations.  The always-accurate
+// control column never does.
+#include <iostream>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/no_cm.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "lowerbound/composition.hpp"
+#include "net/unrestricted_loss.hpp"
+#include "util/table.hpp"
+
+namespace ccd {
+namespace {
+
+struct TrialOutcome {
+  int violations = 0;
+  int non_terminations = 0;
+  int solved = 0;
+};
+
+TrialOutcome trial_sweep(bool eventually_accurate, int trials) {
+  TrialOutcome outcome;
+  Alg3Algorithm alg(64);
+  for (int seed = 1; seed <= trials; ++seed) {
+    const Round r_acc = 60;
+    World world = make_world(
+        alg, split_initial_values(4, 10, 50), std::make_unique<NoCm>(),
+        std::make_unique<OracleDetector>(
+            eventually_accurate ? DetectorSpec::OAC(r_acc)
+                                : DetectorSpec::AC(),
+            eventually_accurate
+                ? std::unique_ptr<AdvicePolicy>(
+                      std::make_unique<SpuriousPolicy>(0.5, r_acc, seed))
+                : make_truthful_policy()),
+        std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+            UnrestrictedLoss::Mode::kDropOthers, 0.0,
+            static_cast<std::uint64_t>(seed)}),
+        std::make_unique<NoFailures>());
+    const RunSummary s = run_consensus(std::move(world), 600);
+    if (!s.verdict.agreement || !s.verdict.strong_validity) {
+      ++outcome.violations;
+    } else if (!s.verdict.termination) {
+      ++outcome.non_terminations;
+    } else {
+      ++outcome.solved;
+    }
+  }
+  return outcome;
+}
+
+void detector_contrast() {
+  std::cout << "--- Algorithm 3 under total loss (NoCF), 50 seeds each "
+               "---\n";
+  AsciiTable table({"detector", "accuracy", "solved", "safety violations",
+                    "non-termination"});
+  const TrialOutcome accurate = trial_sweep(false, 50);
+  const TrialOutcome eventual = trial_sweep(true, 50);
+  table.add("0-AC (Theorem 3)", "always", accurate.solved,
+            accurate.violations, accurate.non_terminations);
+  table.add("<>AC (Theorem 8)", "eventual only", eventual.solved,
+            eventual.violations, eventual.non_terminations);
+  table.print(std::cout);
+}
+
+void partition_stall() {
+  std::cout << "\n--- the safe-algorithm horn: a never-healing partition + "
+               "eventually-accurate detector stalls Algorithm 2 forever "
+               "---\n";
+  AsciiTable table({"algorithm", "partition", "rounds", "terminated",
+                    "agreement"});
+  Alg2Algorithm alg(16);
+  CompositionConfig config;
+  config.group_size = 3;
+  config.value_a = 4;
+  config.value_b = 11;
+  config.k = 100;
+  config.heal = false;  // NOCF: collision freedom never arrives
+  config.spec = DetectorSpec::ZeroOAC(1);
+  config.max_rounds = 1000;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  table.add(alg.name(), "never heals", config.max_rounds,
+            outcome.summary.verdict.termination,
+            outcome.summary.verdict.agreement);
+  table.print(std::cout);
+  std::cout << "\nRESULT: with NoCF, completeness + eventual accuracy is "
+               "not enough (Theorem 8); always-accuracy is (Algorithm 3, "
+               "Theorem 3).\n";
+}
+
+}  // namespace
+}  // namespace ccd
+
+int main() {
+  std::cout << "=== E8: impossibility with eventual accuracy but no ECF "
+               "(Theorem 8) ===\n\n";
+  ccd::detector_contrast();
+  ccd::partition_stall();
+  return 0;
+}

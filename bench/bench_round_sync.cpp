@@ -1,0 +1,92 @@
+// E13 -- substrate validation: the reference-broadcast round synchronizer
+// that turns drifting hardware clocks (Section 1.1) into the synchronized
+// rounds the consensus model presupposes (Section 1.3 cites RBS [25] and
+// the synchronizer of [14]; the thesis reports 3.68 +- 2.57 microseconds
+// of skew for RBS over 4 hops).
+//
+// Shape to reproduce: skew scales with rho * resync-period + jitter, stays
+// within the analytic bound, and the round abstraction (all devices agree
+// on the round number outside guard windows) holds whenever the round
+// length dominates the skew.
+#include <iostream>
+
+#include "sync/round_synchronizer.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ccd {
+namespace {
+
+void skew_scaling() {
+  std::cout << "--- measured skew vs drift rate and beacon loss (epoch = "
+               "1s, jitter = 10us, n = 16) ---\n";
+  AsciiTable table({"rho", "beacon loss", "measured skew (us)",
+                    "bound (us)", "within", "round agreement"});
+  for (double rho : {1e-5, 1e-4, 1e-3}) {
+    for (double loss : {0.0, 0.3, 0.6}) {
+      Stats skew;
+      Stats bound;
+      double agreement = 1.0;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        RoundSynchronizer::Options o;
+        o.n = 16;
+        o.rho = rho;
+        o.epoch = 1.0;
+        o.jitter = 1e-5;
+        o.beacon_loss = loss;
+        o.round_length = 0.05;
+        o.horizon = 60.0;
+        o.seed = seed;
+        RoundSynchronizer sync(o);
+        skew.add(sync.measured_max_skew(500) * 1e6);
+        bound.add(sync.skew_bound() * 1e6);
+        agreement = std::min(agreement, sync.round_agreement_fraction(500));
+      }
+      table.add(rho, loss, skew.max(), bound.max(),
+                skew.max() <= bound.max(), agreement);
+    }
+  }
+  table.print(std::cout);
+}
+
+void round_length_tradeoff() {
+  std::cout << "\n--- how short can rounds get?  (rho = 1e-4, loss = 0.3) "
+               "---\n";
+  AsciiTable table({"round length (ms)", "skew bound (ms)",
+                    "guarded agreement", "usable"});
+  for (double L : {0.0005, 0.002, 0.01, 0.05, 0.25}) {
+    double agreement = 1.0;
+    double bound = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      RoundSynchronizer::Options o;
+      o.n = 16;
+      o.rho = 1e-4;
+      o.epoch = 1.0;
+      o.jitter = 1e-5;
+      o.beacon_loss = 0.3;
+      o.round_length = L;
+      o.horizon = 60.0;
+      o.seed = seed;
+      RoundSynchronizer sync(o);
+      agreement = std::min(agreement, sync.round_agreement_fraction(500));
+      bound = std::max(bound, sync.skew_bound());
+    }
+    table.add(L * 1e3, bound * 1e3, agreement, L > 2 * bound);
+  }
+  table.print(std::cout);
+  std::cout << "\nRESULT: rounds an order of magnitude longer than the "
+               "skew bound give a clean synchronized-round abstraction -- "
+               "the 'rounds are large relative to a single packet' regime "
+               "the paper argues for in Section 1.2.\n";
+}
+
+}  // namespace
+}  // namespace ccd
+
+int main() {
+  std::cout << "=== E13: round-synchronization substrate (drifting clocks "
+               "-> synchronized rounds) ===\n\n";
+  ccd::skew_scaling();
+  ccd::round_length_tradeoff();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E12 -- simulator micro-performance (google-benchmark): round throughput
+// of the executor, detector advice cost, and loss-adversary cost.  Not a
+// paper experiment; establishes that the sweeps in E2..E11 measure
+// algorithm behaviour, not harness overhead.
+#include <benchmark/benchmark.h>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/ecf_adversary.hpp"
+#include "sim/executor.hpp"
+
+namespace ccd {
+namespace {
+
+World bench_world(std::size_t n, bool record_views) {
+  (void)record_views;
+  Alg2Algorithm alg(1 << 16);
+  WakeupService::Options ws;
+  ws.r_wake = 1u << 30;  // never stabilize: keep everyone chatting
+  ws.pre = WakeupService::PreStabilization::kAllActive;
+  EcfAdversary::Options ecf;
+  ecf.r_cf = 1u << 30;
+  ecf.pre = EcfAdversary::PreMode::kRandom;
+  ecf.p_deliver = 0.5;
+  return make_world(alg, random_initial_values(n, 1 << 16, 7),
+                    std::make_unique<WakeupService>(ws),
+                    std::make_unique<OracleDetector>(
+                        DetectorSpec::ZeroOAC(1u << 30),
+                        make_truthful_policy()),
+                    std::make_unique<EcfAdversary>(ecf),
+                    std::make_unique<NoFailures>());
+}
+
+void BM_ExecutorRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ExecutorOptions options;
+  options.record_views = false;
+  options.stop_when_all_decided = false;
+  Executor executor(bench_world(n, false), options);
+  for (auto _ : state) {
+    executor.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExecutorRound)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ExecutorRoundWithViews(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ExecutorOptions options;
+  options.record_views = true;
+  options.stop_when_all_decided = false;
+  Executor executor(bench_world(n, true), options);
+  for (auto _ : state) {
+    executor.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExecutorRoundWithViews)->Arg(16)->Arg(64);
+
+void BM_DetectorAdvice(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  OracleDetector det(DetectorSpec::MajOAC(100), make_truthful_policy());
+  std::vector<std::uint32_t> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = static_cast<std::uint32_t>(i % 9);
+  }
+  std::vector<CdAdvice> advice;
+  Round r = 1;
+  for (auto _ : state) {
+    det.advise(r++, 8, t, advice);
+    benchmark::DoNotOptimize(advice);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DetectorAdvice)->Arg(16)->Arg(256);
+
+void BM_LossDelivery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  EcfAdversary::Options opts;
+  opts.r_cf = 1u << 30;
+  opts.pre = EcfAdversary::PreMode::kCapture;
+  EcfAdversary loss(opts);
+  std::vector<bool> sent(n, true);
+  DeliveryMatrix m;
+  Round r = 1;
+  for (auto _ : state) {
+    m.reset(n, false);
+    loss.decide_delivery(r++, sent, m);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_LossDelivery)->Arg(16)->Arg(256);
+
+void BM_FullConsensusRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Alg1Algorithm alg;
+    WakeupService::Options ws;
+    ws.r_wake = 10;
+    EcfAdversary::Options ecf;
+    ecf.r_cf = 10;
+    World world = make_world(
+        alg, random_initial_values(n, 64, 3),
+        std::make_unique<WakeupService>(ws),
+        std::make_unique<OracleDetector>(DetectorSpec::MajOAC(10),
+                                         make_truthful_policy()),
+        std::make_unique<EcfAdversary>(ecf),
+        std::make_unique<NoFailures>());
+    ExecutorOptions options;
+    options.record_views = false;
+    Executor executor(std::move(world), options);
+    benchmark::DoNotOptimize(executor.run(100));
+  }
+}
+BENCHMARK(BM_FullConsensusRun)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace ccd
+
+BENCHMARK_MAIN();

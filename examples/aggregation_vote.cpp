@@ -1,0 +1,118 @@
+// Aggregation voting (the paper's third motivating scenario, Section 1.4,
+// after Kumar [44]): the children of each spanning-tree parent run
+// consensus on the summary value to pass upward, so unreliable links
+// cannot silently drop a child's contribution from the aggregate.
+//
+// This example also exercises the NoCF regime: one cluster sits at the
+// noisy edge of the deployment where collision freedom NEVER arrives, so
+// it runs Algorithm 3 (0-AC, no contention manager) -- the only algorithm
+// that works there (Theorems 3 and 8).  Interior clusters enjoy ECF and
+// use Algorithm 2.
+#include <iostream>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/no_cm.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/ecf_adversary.hpp"
+#include "net/unrestricted_loss.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccd;
+
+constexpr std::uint64_t kReadingSpace = 1 << 12;  // 12-bit sensor readings
+
+struct ClusterResult {
+  bool solved = false;
+  Value agreed = kNoValue;
+  Round rounds = 0;
+};
+
+ClusterResult run_interior_cluster(std::vector<Value> readings,
+                                   std::uint64_t seed) {
+  Alg2Algorithm algorithm(kReadingSpace);
+  WakeupService::Options ws;
+  ws.r_wake = 10;
+  ws.seed = seed;
+  EcfAdversary::Options radio;
+  radio.r_cf = 10;
+  radio.p_deliver = 0.5;
+  radio.seed = seed * 3;
+  World world = make_world(
+      algorithm, std::move(readings), std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroOAC(10),
+                                       make_truthful_policy()),
+      std::make_unique<EcfAdversary>(radio), std::make_unique<NoFailures>());
+  const RunSummary s = run_consensus(std::move(world), 2000);
+  return {s.verdict.solved(), s.verdict.decided_values.empty()
+                                  ? kNoValue
+                                  : s.verdict.decided_values[0],
+          s.verdict.last_decision_round};
+}
+
+ClusterResult run_edge_cluster(std::vector<Value> readings,
+                               std::uint64_t seed) {
+  // The edge cluster gets constant interference from a neighbouring
+  // region: no ECF, ever.  Algorithm 3 with an accurate carrier-sense
+  // detector still decides.
+  Alg3Algorithm algorithm(kReadingSpace);
+  World world = make_world(
+      algorithm, std::move(readings), std::make_unique<NoCm>(),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                       make_truthful_policy()),
+      std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+          UnrestrictedLoss::Mode::kRandom, 0.25, seed}),
+      std::make_unique<NoFailures>());
+  const RunSummary s = run_consensus(std::move(world), 4000);
+  return {s.verdict.solved(), s.verdict.decided_values.empty()
+                                  ? kNoValue
+                                  : s.verdict.decided_values[0],
+          s.verdict.last_decision_round};
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccd;
+
+  // Three sibling clusters reporting to one parent.  Each cluster's
+  // members propose their median reading; consensus picks the cluster's
+  // single "vote".
+  const std::vector<std::vector<Value>> clusters = {
+      {1207, 1211, 1198, 1207, 1215},   // interior
+      {873, 880, 869, 873},             // interior
+      {2051, 2048, 2060, 2051, 2048, 2055},  // noisy edge, NoCF
+  };
+
+  AsciiTable table({"cluster", "members", "regime", "algorithm",
+                    "agreed vote", "rounds"});
+  std::vector<Value> votes;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const bool edge = c == 2;
+    const ClusterResult result =
+        edge ? run_edge_cluster(clusters[c], 40 + c)
+             : run_interior_cluster(clusters[c], 40 + c);
+    if (!result.solved) {
+      std::cout << "cluster " << c << " failed to agree\n";
+      return 1;
+    }
+    votes.push_back(result.agreed);
+    table.add(c, clusters[c].size(), edge ? "NoCF (interference)" : "ECF",
+              edge ? "Alg3 (0-AC)" : "Alg2 (0-<>AC)", result.agreed,
+              result.rounds);
+  }
+  table.print(std::cout);
+
+  Value aggregate = 0;
+  for (Value v : votes) aggregate += v;
+  std::cout << "\nparent aggregates " << votes.size()
+            << " cluster votes -> sum = " << aggregate
+            << " (every cluster contributed exactly one agreed value; no "
+               "reading was silently lost)\n";
+  return 0;
+}

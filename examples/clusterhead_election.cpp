@@ -1,0 +1,73 @@
+// Clusterhead election (the paper's second motivating scenario, Section
+// 1.4): a cluster needs one agreed-upon head; "consensus run on unique
+// identifiers is an obvious, reliable solution".
+//
+// We use the non-anonymous Section 7.3 protocol (Algorithm 4) with a huge
+// value space (devices propose their own 48-bit MAC-style addresses) and a
+// small ID space, so the protocol takes its leader-election path and pays
+// only O(lg|I|) rounds.  Mid-run the elected head crashes AFTER partially
+// announcing -- the exact hazard the hardened decision rule exists for --
+// and the cluster converges anyway.
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg4_non_anonymous.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/ecf_adversary.hpp"
+
+int main() {
+  using namespace ccd;
+
+  // Each device proposes itself (its MAC address) as clusterhead.
+  const std::vector<Value> mac_addresses = {
+      0xA4B1C2000001ull, 0xA4B1C2000002ull, 0xA4B1C2000003ull,
+      0xA4B1C2000004ull, 0xA4B1C2000005ull, 0xA4B1C2000006ull,
+  };
+
+  // 48-bit value space, 64-element ID space: lg|I| = 6 << lg|V| = 48, so
+  // electing on IDs and announcing the winner's address is ~8x cheaper
+  // than bit-by-bit agreement on addresses.
+  Alg4Algorithm algorithm(/*num_values=*/1ull << 48, /*id_space=*/64,
+                          Alg4DecisionRule::kHardened);
+
+  WakeupService::Options ws;
+  ws.r_wake = 6;
+
+  EcfAdversary::Options radio;
+  radio.r_cf = 6;
+  radio.pre = EcfAdversary::PreMode::kRandom;
+  radio.p_deliver = 0.5;
+  radio.contention = EcfAdversary::ContentionMode::kCapture;
+  radio.seed = 3;
+
+  // Crash the would-be head (lowest ID, process 0) mid-protocol.
+  World world = make_world(
+      algorithm, mac_addresses, std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroOAC(6),
+                                       make_truthful_policy()),
+      std::make_unique<EcfAdversary>(radio),
+      std::make_unique<ScheduledCrash>(std::vector<CrashEvent>{
+          {40, 0, CrashPoint::kBeforeSend}}));
+
+  const RunSummary summary = run_consensus(std::move(world), 2000);
+
+  if (!summary.verdict.solved()) {
+    std::cout << "cluster failed to elect a head (agreement="
+              << summary.verdict.agreement << ")\n";
+    return 1;
+  }
+  std::printf("clusterhead elected: %012" PRIx64 "\n",
+              summary.verdict.decided_values[0]);
+  std::printf("rounds used:         %u (leader crash at round 40 included)\n",
+              summary.verdict.last_decision_round);
+  std::printf("survivors agreeing:  %zu of %zu\n",
+              mac_addresses.size() - 1, mac_addresses.size());
+  std::cout << "\nThe cluster detected the head's silence (zero-complete "
+               "carrier sensing), re-elected on the ID space, and every "
+               "survivor adopted the same head.\n";
+  return 0;
+}

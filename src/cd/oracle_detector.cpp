@@ -1,0 +1,54 @@
+#include "cd/oracle_detector.hpp"
+
+#include <cassert>
+
+namespace ccd {
+
+OracleDetector::OracleDetector(DetectorSpec spec,
+                               std::unique_ptr<AdvicePolicy> policy)
+    : spec_(spec), policy_(std::move(policy)) {
+  assert(policy_ != nullptr);
+}
+
+void OracleDetector::advise(Round round, std::uint32_t c,
+                            const std::vector<std::uint32_t>& t,
+                            std::vector<CdAdvice>& out) {
+  out.resize(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool pm_forced = spec_.collision_forced(c, t[i]);
+    const bool null_forced = spec_.null_forced(round, c, t[i]);
+    // The two forced sets are disjoint: completeness only forces when t < c
+    // (or NoCD, which has no accuracy), accuracy only when t == c.
+    assert(!(pm_forced && null_forced));
+    CdAdvice advice;
+    if (pm_forced) {
+      advice = CdAdvice::kCollision;
+    } else if (null_forced) {
+      advice = CdAdvice::kNull;
+    } else {
+      advice = policy_->choose(round, static_cast<ProcessId>(i), c, t[i]);
+    }
+    assert(spec_.advice_legal(round, c, t[i], advice));
+    out[i] = advice;
+  }
+}
+
+bool cd_trace_legal(const DetectorSpec& spec, const TransmissionTrace& tt,
+                    const CdTrace& cd) {
+  const std::size_t rounds =
+      tt.num_rounds() < cd.num_rounds() ? tt.num_rounds() : cd.num_rounds();
+  for (Round r = 1; r <= rounds; ++r) {
+    const TransmissionRound& tr = tt.at(r);
+    const std::vector<CdAdvice>& advice = cd.at(r);
+    if (advice.size() != tr.receive_count.size()) return false;
+    for (std::size_t i = 0; i < advice.size(); ++i) {
+      if (!spec.advice_legal(r, tr.broadcaster_count, tr.receive_count[i],
+                             advice[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ccd

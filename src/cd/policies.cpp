@@ -1,0 +1,62 @@
+#include "cd/policies.hpp"
+
+namespace ccd {
+
+CdAdvice TruthfulPolicy::choose(Round /*round*/, ProcessId /*i*/,
+                                std::uint32_t c, std::uint32_t t) {
+  return t < c ? CdAdvice::kCollision : CdAdvice::kNull;
+}
+
+CdAdvice PreferNullPolicy::choose(Round /*round*/, ProcessId /*i*/,
+                                  std::uint32_t /*c*/, std::uint32_t /*t*/) {
+  return CdAdvice::kNull;
+}
+
+CdAdvice PreferCollisionPolicy::choose(Round /*round*/, ProcessId /*i*/,
+                                       std::uint32_t /*c*/,
+                                       std::uint32_t /*t*/) {
+  return CdAdvice::kCollision;
+}
+
+SpuriousPolicy::SpuriousPolicy(double p, Round spurious_until,
+                               std::uint64_t seed)
+    : p_(p), spurious_until_(spurious_until), rng_(seed) {}
+
+CdAdvice SpuriousPolicy::choose(Round round, ProcessId /*i*/, std::uint32_t c,
+                                std::uint32_t t) {
+  if (t < c) return CdAdvice::kCollision;  // truthful on real loss
+  if (round < spurious_until_ && rng_.chance(p_)) return CdAdvice::kCollision;
+  return CdAdvice::kNull;
+}
+
+FlakyMajorityPolicy::FlakyMajorityPolicy(double q, std::uint64_t seed)
+    : q_(q), rng_(seed) {}
+
+CdAdvice FlakyMajorityPolicy::choose(Round /*round*/, ProcessId /*i*/,
+                                     std::uint32_t c, std::uint32_t t) {
+  const bool majority_lost = c > 0 && 2ull * t <= c;
+  if (majority_lost) {
+    return rng_.chance(q_) ? CdAdvice::kCollision : CdAdvice::kNull;
+  }
+  // Sub-majority loss: practical carrier-sense detectors usually miss it.
+  return CdAdvice::kNull;
+}
+
+RandomLegalPolicy::RandomLegalPolicy(std::uint64_t seed) : rng_(seed) {}
+
+CdAdvice RandomLegalPolicy::choose(Round /*round*/, ProcessId /*i*/,
+                                   std::uint32_t /*c*/, std::uint32_t /*t*/) {
+  return rng_.chance(0.5) ? CdAdvice::kCollision : CdAdvice::kNull;
+}
+
+std::unique_ptr<AdvicePolicy> make_truthful_policy() {
+  return std::make_unique<TruthfulPolicy>();
+}
+std::unique_ptr<AdvicePolicy> make_prefer_null_policy() {
+  return std::make_unique<PreferNullPolicy>();
+}
+std::unique_ptr<AdvicePolicy> make_prefer_collision_policy() {
+  return std::make_unique<PreferCollisionPolicy>();
+}
+
+}  // namespace ccd

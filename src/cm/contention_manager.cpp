@@ -1,0 +1,4 @@
+#include "cm/contention_manager.hpp"
+
+// Interface-only translation unit: anchors the vtable.
+namespace ccd {}

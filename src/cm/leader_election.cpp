@@ -1,0 +1,38 @@
+#include "cm/leader_election.hpp"
+
+namespace ccd {
+
+namespace {
+std::uint32_t lowest_alive(const std::vector<bool>& alive) {
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i]) return static_cast<std::uint32_t>(i);
+  }
+  return LeaderElectionService::Options::kNoLeader;
+}
+}  // namespace
+
+LeaderElectionService::LeaderElectionService(Options opts) : opts_(opts) {
+  leader_ = opts_.leader;
+}
+
+void LeaderElectionService::advise(Round round, const std::vector<bool>& alive,
+                                   std::vector<CmAdvice>& out) {
+  const auto n = alive.size();
+  out.assign(n, CmAdvice::kPassive);
+
+  if (round < opts_.r_lead) {
+    if (opts_.pre_all_active) out.assign(n, CmAdvice::kActive);
+    return;
+  }
+
+  if (leader_ == Options::kNoLeader) leader_ = lowest_alive(alive);
+  if (leader_ != Options::kNoLeader && leader_ < n && !alive[leader_] &&
+      opts_.adapt_on_crash) {
+    leader_ = lowest_alive(alive);
+  }
+  if (leader_ != Options::kNoLeader && leader_ < n) {
+    out[leader_] = CmAdvice::kActive;
+  }
+}
+
+}  // namespace ccd

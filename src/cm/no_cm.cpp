@@ -1,0 +1,10 @@
+#include "cm/no_cm.hpp"
+
+namespace ccd {
+
+void NoCm::advise(Round /*round*/, const std::vector<bool>& alive,
+                  std::vector<CmAdvice>& out) {
+  out.assign(alive.size(), CmAdvice::kActive);
+}
+
+}  // namespace ccd

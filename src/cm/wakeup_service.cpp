@@ -1,0 +1,65 @@
+#include "cm/wakeup_service.hpp"
+
+namespace ccd {
+
+WakeupService::WakeupService(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+void WakeupService::advise(Round round, const std::vector<bool>& alive,
+                           std::vector<CmAdvice>& out) {
+  const auto n = alive.size();
+  out.assign(n, CmAdvice::kPassive);
+
+  if (round < opts_.r_wake) {
+    switch (opts_.pre) {
+      case PreStabilization::kAllActive:
+        out.assign(n, CmAdvice::kActive);
+        break;
+      case PreStabilization::kAllPassive:
+        break;
+      case PreStabilization::kRandomSubset:
+        for (std::size_t i = 0; i < n; ++i) {
+          if (rng_.chance(0.5)) out[i] = CmAdvice::kActive;
+        }
+        break;
+      case PreStabilization::kAlternating:
+        if (round % 2 == 1) out.assign(n, CmAdvice::kActive);
+        break;
+    }
+    return;
+  }
+
+  // Stabilized: exactly one process is advised active.
+  switch (opts_.post) {
+    case PostStabilization::kMinAlive: {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alive[i]) {
+          out[i] = CmAdvice::kActive;
+          return;
+        }
+      }
+      break;  // all crashed: advising nobody is vacuously fine
+    }
+    case PostStabilization::kRotateAlive: {
+      std::uint32_t alive_count = 0;
+      for (bool a : alive) alive_count += a ? 1 : 0;
+      if (alive_count == 0) break;
+      std::uint32_t skip = rotate_cursor_ % alive_count;
+      ++rotate_cursor_;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!alive[i]) continue;
+        if (skip == 0) {
+          out[i] = CmAdvice::kActive;
+          return;
+        }
+        --skip;
+      }
+      break;
+    }
+    case PostStabilization::kFixedMin: {
+      if (n > 0) out[0] = CmAdvice::kActive;
+      break;
+    }
+  }
+}
+
+}  // namespace ccd

@@ -1,0 +1,108 @@
+// Algorithm 2 (Section 7.2): anonymous consensus with ECF and a collision
+// detector in 0-<>AC (zero-complete, eventually accurate), using any
+// wake-up service.  Terminates by CST + 2*(ceil(lg|V|) + 1) (Theorem 2),
+// matching the Omega(lg|V|) lower bound for half-complete-or-weaker
+// detectors (Theorem 6).
+//
+// Structure: cycles of prepare (1 round) / propose (ceil(lg|V|) rounds) /
+// accept (1 round):
+//   prepare: active processes broadcast their estimate; processes hearing
+//     at least one estimate and no collision adopt the minimum.
+//   propose: one round per bit of the estimate's binary representation.
+//     A process broadcasts a mark in rounds where its estimate has a 1 bit
+//     and listens otherwise; hearing anything (message or collision) while
+//     listening on a 0 bit reveals divergent estimates and clears the
+//     process's decide flag.  This is the "spell your value out, one bit
+//     per round" channel-as-binary-communication mechanism, and the reason
+//     the protocol costs Theta(lg|V|) rounds.
+//   accept: processes whose decide flag was cleared broadcast a veto; a
+//     process hearing a silent accept round decides its estimate and halts
+//     (zero completeness + Corollary 1: silence proves nobody vetoed).
+//
+// The protocol logic is factored into Alg2Core so the non-anonymous
+// Section 7.3 protocol can embed an instance running on the ID space.
+#pragma once
+
+#include "consensus/consensus_process.hpp"
+#include "util/bitcodec.hpp"
+
+namespace ccd {
+
+/// The phase machine of Algorithm 2, decoupled from the Process interface.
+/// One step = one round: call step_send() then step_receive().
+class Alg2Core {
+ public:
+  Alg2Core(std::uint64_t num_values, Value initial_value,
+           Message::Kind estimate_kind = Message::Kind::kEstimate,
+           std::uint64_t message_tag = 0);
+
+  /// Message for this round.  `muted` suppresses the prepare-phase
+  /// broadcast (used by the Section 7.3 leader-failure recovery rule, where
+  /// later election instances stay quiet until the leader is detected
+  /// failed); propose/accept broadcasts are never muted, so safety is
+  /// unaffected.
+  std::optional<Message> step_send(CmAdvice cm, bool muted = false);
+
+  void step_receive(std::span<const Message> received, CdAdvice cd);
+
+  bool decided() const { return decided_; }
+  Value decision() const { return decision_; }
+  Value estimate() const { return estimate_; }
+
+  /// Restart the protocol with a fresh estimate (next election instance).
+  void reset(Value initial_value);
+
+  /// True at a cycle boundary (prepare phase about to run).  The Section
+  /// 7.3 protocol applies election resets only here so that every
+  /// process's embedded core stays in phase lockstep.
+  bool in_prepare() const { return phase_ == Phase::kPrepare; }
+
+ private:
+  enum class Phase { kPrepare, kPropose, kAccept };
+
+  BitCodec codec_;
+  Message::Kind estimate_kind_;
+  std::uint64_t tag_;
+
+  Value estimate_;
+  Phase phase_ = Phase::kPrepare;
+  bool decide_flag_ = true;
+  std::uint32_t bit_ = 1;
+  bool sent_this_round_ = false;
+  bool decided_ = false;
+  Value decision_ = kNoValue;
+};
+
+class Alg2Process final : public ConsensusProcess {
+ public:
+  Alg2Process(std::uint64_t num_values, Value initial_value);
+
+  std::optional<Message> on_send(Round round, CmAdvice cm) override;
+  void on_receive(Round round, std::span<const Message> received, CdAdvice cd,
+                  CmAdvice cm) override;
+
+  Value estimate() const { return core_.estimate(); }
+
+ private:
+  Alg2Core core_;
+};
+
+class Alg2Algorithm final : public ConsensusAlgorithm {
+ public:
+  explicit Alg2Algorithm(std::uint64_t num_values)
+      : num_values_(num_values) {}
+
+  std::unique_ptr<Process> make_process(const ProcessIdentity& identity,
+                                        Value initial_value) const override;
+  bool anonymous() const override { return true; }
+  const char* name() const override { return "Alg2(0-<>AC,WS,ECF)"; }
+
+  /// Worst-case rounds after CST (Theorem 2): 2 * (ceil(lg|V|) + 1) plus
+  /// the partial cycle in progress at CST.
+  static Round round_bound_after_cst(std::uint64_t num_values);
+
+ private:
+  std::uint64_t num_values_;
+};
+
+}  // namespace ccd

@@ -1,0 +1,96 @@
+#include "consensus/alg3_zero_ac_nocf.hpp"
+
+#include "util/bitcodec.hpp"
+
+namespace ccd {
+
+Alg3Process::Alg3Process(std::uint64_t num_values, Value initial_value,
+                         bool fold_recurse_round)
+    : ConsensusProcess(initial_value),
+      curr_(num_values),
+      fold_recurse_round_(fold_recurse_round) {}
+
+std::optional<Message> Alg3Process::on_send(Round /*round*/,
+                                            CmAdvice /*cm*/) {
+  // Algorithm 3 ignores contention manager advice: it is designed for
+  // executions with no delivery guarantee, where solo channel access buys
+  // nothing (Section 7.4).
+  bool vote = false;
+  switch (phase_) {
+    case Phase::kVoteVal:
+      vote = initial_value() == curr_.value();
+      break;
+    case Phase::kVoteLeft:
+      vote = curr_.left_contains(initial_value());
+      break;
+    case Phase::kVoteRight:
+      vote = curr_.right_contains(initial_value());
+      break;
+    case Phase::kRecurse:
+      break;
+  }
+  if (vote) return Message{Message::Kind::kVote, 0, 0};
+  return std::nullopt;
+}
+
+void Alg3Process::recurse() {
+  if (vote_heard_[0]) {
+    decide(curr_.value());
+    halt();
+    return;
+  }
+  if (vote_heard_[1]) {
+    // Accuracy guarantees the vote was real, so the left child exists.
+    curr_.descend_left();
+  } else if (vote_heard_[2]) {
+    curr_.descend_right();
+  } else {
+    curr_.ascend();  // all voters for this subtree crashed; back up
+  }
+  phase_ = Phase::kVoteVal;
+}
+
+void Alg3Process::on_receive(Round /*round*/,
+                             std::span<const Message> received, CdAdvice cd,
+                             CmAdvice /*cm*/) {
+  switch (phase_) {
+    case Phase::kVoteVal:
+      vote_heard_[0] = !received.empty() || cd == CdAdvice::kCollision;
+      phase_ = Phase::kVoteLeft;
+      return;
+    case Phase::kVoteLeft:
+      vote_heard_[1] = !received.empty() || cd == CdAdvice::kCollision;
+      phase_ = Phase::kVoteRight;
+      return;
+    case Phase::kVoteRight:
+      vote_heard_[2] = !received.empty() || cd == CdAdvice::kCollision;
+      if (fold_recurse_round_) {
+        recurse();  // fold the local computation into this round
+      } else {
+        phase_ = Phase::kRecurse;
+      }
+      return;
+    case Phase::kRecurse:
+      // Dedicated silent round: nothing is broadcast and the receive set is
+      // ignored; only the local navigation decision happens.
+      recurse();
+      return;
+  }
+}
+
+std::unique_ptr<Process> Alg3Algorithm::make_process(
+    const ProcessIdentity& /*identity*/, Value initial_value) const {
+  return std::make_unique<Alg3Process>(num_values_, initial_value,
+                                       fold_recurse_round_);
+}
+
+Round Alg3Algorithm::round_bound_after_failures(
+    std::uint64_t num_values) const {
+  const std::uint32_t lg = ceil_log2(num_values) == 0
+                               ? 1
+                               : ceil_log2(num_values);
+  const Round per_move = fold_recurse_round_ ? 3 : 4;
+  return 2 * per_move * lg + per_move;  // up + down, plus the final decide
+}
+
+}  // namespace ccd

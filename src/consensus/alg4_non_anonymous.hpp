@@ -1,0 +1,106 @@
+// The non-anonymous protocol of Section 7.3: consensus with ECF and a
+// 0-<>AC collision detector in CST + O(min{lg|V|, lg|I|}) rounds, where I
+// is the identifier space.
+//
+//  * If |V| <= |I| the protocol is exactly Algorithm 2 on the values.
+//  * Otherwise rounds are grouped in threes:
+//      phase 1: one step of an embedded Algorithm 2 instance over the ID
+//               space, electing a leader (everyone's initial estimate is
+//               its own ID);
+//      phase 2: the elected leader broadcasts a value announcement;
+//      phase 3: processes that have not yet (cleanly) heard the current
+//               leader's announcement broadcast a veto.
+//
+// Leader-failure recovery (the paper sketches it informally): a silent
+// phase-2 round after an election has decided proves -- via zero
+// completeness and Corollary 1 -- that the leader did not broadcast, i.e.
+// it crashed or halted.  Detecting processes re-enter contention: at the
+// next election-cycle boundary they reset the embedded instance to their
+// own ID and, per the paper's rule, processes do not broadcast in prepare
+// while they still believe a leader exists, so a re-election cannot
+// complete before every survivor has detected the failure.
+//
+// HARDENING (documented deviation).  The paper's literal decision rule --
+// "non-leaders decide the value in the first phase-2 message they receive,
+// then halt" -- is unsafe under a crash pattern the sketch does not
+// consider: a leader that delivers its announcement to SOME processes
+// (which then decide and halt) and crashes before reaching the rest; the
+// survivors detect a silent phase 2, elect a new leader, and decide that
+// leader's different value.  tests/consensus/alg4_test.cpp reproduces the
+// violation against the literal rule (DecisionRule::kLiteral).  Our default
+// rule (kHardened) restores safety at no asymptotic cost:
+//   1. hearing an announcement ADOPTS it (announce := v), so a re-elected
+//      leader re-broadcasts the possibly-decided value, and
+//   2. every process (leader included) decides only after a SILENT phase-3
+//      round, which -- silence again being trustworthy -- proves every
+//      alive process has heard and adopted the same announcement.
+#pragma once
+
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/consensus_process.hpp"
+
+namespace ccd {
+
+enum class Alg4DecisionRule : std::uint8_t {
+  kHardened,  ///< safe completion of the sketch (default)
+  kLiteral,   ///< the paper's literal text; unsafe, kept for the demo
+};
+
+class Alg4Process final : public ConsensusProcess {
+ public:
+  Alg4Process(std::uint64_t num_values, std::uint64_t id_space_size,
+              std::uint64_t my_id, Value initial_value, Alg4DecisionRule rule);
+
+  std::optional<Message> on_send(Round round, CmAdvice cm) override;
+  void on_receive(Round round, std::span<const Message> received, CdAdvice cd,
+                  CmAdvice cm) override;
+
+  bool believes_leader() const { return election_decided_; }
+  std::uint64_t leader_id() const { return leader_id_; }
+
+ private:
+  enum class Slot : std::uint8_t { kElection = 0, kAnnounce = 1, kVeto = 2 };
+  static Slot slot_of(Round r) { return static_cast<Slot>((r - 1) % 3); }
+
+  std::optional<Message> send_election(CmAdvice cm);
+  void receive_election(std::span<const Message> received, CdAdvice cd);
+  void receive_announce(std::span<const Message> received, CdAdvice cd);
+  void receive_veto(std::span<const Message> received, CdAdvice cd);
+
+  // Direct mode (|V| <= |I|): plain Algorithm 2 over V.
+  bool direct_mode_;
+  Alg2Core value_core_;
+
+  // Leader-based mode.
+  Alg2Core election_core_;
+  std::uint64_t my_id_;
+  Alg4DecisionRule rule_;
+  bool election_decided_ = false;
+  std::uint64_t leader_id_ = 0;
+  bool am_leader_ = false;
+  bool heard_current_ = false;   ///< cleanly heard current leader's announce
+  Value announce_;               ///< value I would announce if elected
+  bool pending_reset_ = false;   ///< failure detected; reset at cycle start
+  bool announced_this_cycle_ = false;  ///< leader broadcast in last phase 2
+};
+
+class Alg4Algorithm final : public ConsensusAlgorithm {
+ public:
+  Alg4Algorithm(std::uint64_t num_values, std::uint64_t id_space_size,
+                Alg4DecisionRule rule = Alg4DecisionRule::kHardened)
+      : num_values_(num_values), id_space_(id_space_size), rule_(rule) {}
+
+  std::unique_ptr<Process> make_process(const ProcessIdentity& identity,
+                                        Value initial_value) const override;
+  bool anonymous() const override { return false; }
+  const char* name() const override { return "Alg4(non-anon,0-<>AC,WS,ECF)"; }
+
+  std::uint64_t id_space() const { return id_space_; }
+
+ private:
+  std::uint64_t num_values_;
+  std::uint64_t id_space_;
+  Alg4DecisionRule rule_;
+};
+
+}  // namespace ccd

@@ -1,0 +1,34 @@
+// Post-hoc verification of the consensus properties (Section 6) against a
+// recorded execution:
+//   Agreement        - no two processes decide different values.
+//   Strong validity  - every decision is some process's initial value.
+//   Uniform validity - if all initial values are equal, that value is the
+//                      only possible decision (the weaker variant the lower
+//                      bounds assume).
+//   Termination      - every correct (never-crashed) process decided.
+#pragma once
+
+#include <vector>
+
+#include "sim/execution_log.hpp"
+
+namespace ccd {
+
+struct ConsensusVerdict {
+  bool agreement = true;
+  bool strong_validity = true;
+  bool uniform_validity = true;
+  bool termination = false;
+
+  Round first_decision_round = kNeverRound;
+  Round last_decision_round = 0;  ///< over correct processes
+  std::vector<Value> decided_values;  ///< distinct values decided
+
+  bool safe() const { return agreement && strong_validity; }
+  bool solved() const { return safe() && uniform_validity && termination; }
+};
+
+ConsensusVerdict check_consensus(const ExecutionLog& log,
+                                 const std::vector<Value>& initial_values);
+
+}  // namespace ccd

@@ -1,0 +1,4 @@
+#include "consensus/consensus_process.hpp"
+
+// Header-only base; this TU anchors the vtable.
+namespace ccd {}

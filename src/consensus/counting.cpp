@@ -1,0 +1,27 @@
+#include "consensus/counting.hpp"
+
+namespace ccd {
+
+std::optional<Message> CountingProcess::on_send(Round /*round*/,
+                                                CmAdvice cm) {
+  if (cm == CmAdvice::kActive && !announced_) {
+    announced_ = true;
+    return Message{Message::Kind::kPayload, /*value=*/1, /*tag=*/0};
+  }
+  return std::nullopt;
+}
+
+void CountingProcess::on_receive(Round /*round*/,
+                                 std::span<const Message> received,
+                                 CdAdvice cd, CmAdvice /*cm*/) {
+  // Count only CLEAN solo announcements: exactly one message, no collision
+  // report.  Noisy rounds (pre-stabilization contention, spurious reports)
+  // are ignored -- the k-wake-up rotation guarantees each process a clean
+  // window after CST, and announced_ makes each process contribute at most
+  // one window, so the counter converges to exactly n.
+  if (received.size() == 1 && cd != CdAdvice::kCollision) {
+    ++count_;
+  }
+}
+
+}  // namespace ccd

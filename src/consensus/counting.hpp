@@ -1,0 +1,42 @@
+// Anonymous counting (Section 4.1): determine how many anonymous processes
+// are in the system.  The paper remarks this is "easily shown to be
+// solvable with a k-wake-up service, but impossible with a leader election
+// service": a leader election service may never schedule anyone but the
+// leader, so a second process is indistinguishable from none -- whereas a
+// k-wake-up service hands every process a private window in which its lone
+// announcement (or the collision report it forces) is witnessed by all.
+//
+// Protocol (anonymous; assumes the rotation runs from round 1, collision
+// freedom from round 1 and an accurate detector -- the clean setting of
+// the paper's remark): a process that is advised active and has not yet
+// announced broadcasts a single "here" mark.  Every process counts the
+// rounds in which it received exactly one mark cleanly; each process's
+// first solo window contributes exactly one such round (ECF delivers the
+// lone mark to everyone), so every counter converges to n once the
+// rotation has served all processes.  (Counting is a convergent task: with
+// n unknown and windows unbounded, no process can ever halt -- the count
+// is simply correct from rotation-completion onward.)
+#pragma once
+
+#include "model/process.hpp"
+
+namespace ccd {
+
+class CountingProcess final : public Process {
+ public:
+  CountingProcess() = default;
+
+  std::optional<Message> on_send(Round round, CmAdvice cm) override;
+  void on_receive(Round round, std::span<const Message> received, CdAdvice cd,
+                  CmAdvice cm) override;
+
+  /// Current estimate of the number of processes.
+  std::uint64_t count() const { return count_; }
+  bool announced() const { return announced_; }
+
+ private:
+  bool announced_ = false;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace ccd

@@ -1,0 +1,54 @@
+#include "fault/failure_adversary.hpp"
+
+namespace ccd {
+
+ScheduledCrash::ScheduledCrash(std::vector<CrashEvent> events)
+    : events_(std::move(events)) {
+  for (const CrashEvent& e : events_) {
+    if (e.round > last_round_) last_round_ = e.round;
+  }
+}
+
+void ScheduledCrash::crash_before_send(Round round,
+                                       const std::vector<bool>& alive,
+                                       std::vector<bool>& out) {
+  for (const CrashEvent& e : events_) {
+    if (e.round == round && e.point == CrashPoint::kBeforeSend &&
+        e.process < alive.size() && alive[e.process]) {
+      out[e.process] = true;
+    }
+  }
+}
+
+void ScheduledCrash::crash_after_send(Round round,
+                                      const std::vector<bool>& alive,
+                                      std::vector<bool>& out) {
+  for (const CrashEvent& e : events_) {
+    if (e.round == round && e.point == CrashPoint::kAfterSend &&
+        e.process < alive.size() && alive[e.process]) {
+      out[e.process] = true;
+    }
+  }
+}
+
+RandomCrash::RandomCrash(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+void RandomCrash::crash_before_send(Round round,
+                                    const std::vector<bool>& alive,
+                                    std::vector<bool>& out) {
+  if (round > opts_.stop_after) return;
+  std::uint32_t alive_count = 0;
+  for (bool a : alive) alive_count += a ? 1 : 0;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (!alive[i] || alive_count <= 1 || crashes_ >= opts_.max_crashes) {
+      continue;
+    }
+    if (rng_.chance(opts_.p)) {
+      out[i] = true;
+      ++crashes_;
+      --alive_count;
+    }
+  }
+}
+
+}  // namespace ccd

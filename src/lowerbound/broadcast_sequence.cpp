@@ -1,0 +1,39 @@
+#include "lowerbound/broadcast_sequence.hpp"
+
+#include <map>
+
+namespace ccd {
+
+std::optional<CollidingPair> find_alpha_collision(
+    const ConsensusAlgorithm& algorithm, std::size_t n,
+    std::uint64_t num_values, Round k, std::uint64_t max_candidates) {
+  std::map<std::vector<BroadcastCount>, Value> seen;
+  const std::uint64_t limit =
+      max_candidates < num_values ? max_candidates : num_values;
+  for (Value v = 0; v < limit; ++v) {
+    AlphaResult result = run_alpha(algorithm, n, v, k);
+    auto [it, inserted] = seen.emplace(std::move(result.bbc), v);
+    if (!inserted) {
+      return CollidingPair{it->second, v, k};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CollidingPair> find_beta_collision(
+    const ConsensusAlgorithm& algorithm, std::size_t n,
+    std::uint64_t num_values, Round k, std::uint64_t max_candidates) {
+  std::map<std::vector<bool>, Value> seen;
+  const std::uint64_t limit =
+      max_candidates < num_values ? max_candidates : num_values;
+  for (Value v = 0; v < limit; ++v) {
+    BetaResult result = run_beta(algorithm, n, v, k);
+    auto [it, inserted] = seen.emplace(std::move(result.binary_broadcast), v);
+    if (!inserted) {
+      return CollidingPair{it->second, v, k};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ccd

@@ -1,0 +1,40 @@
+// Pigeonhole searches over broadcast-count sequences (Lemmas 21/22 and the
+// counting argument of Theorem 9).
+//
+// Lemma 21: among the |V| alpha executions of an anonymous algorithm, at
+// most 3^k distinct basic broadcast count sequences of length k exist, so
+// for k = (lg|V|)/2 - 1 two values must collide.  Theorem 9 plays the same
+// game with the 2^k binary broadcast sequences of beta executions.  These
+// helpers FIND such colliding pairs constructively, which the composition
+// experiments then weld into agreement-violating executions.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "lowerbound/alpha_execution.hpp"
+
+namespace ccd {
+
+struct CollidingPair {
+  Value v1 = 0;
+  Value v2 = 0;
+  Round prefix_length = 0;  ///< sequences agree through this many rounds
+};
+
+/// Search values 0..num_values-1 (stopping at max_candidates executions)
+/// for two whose alpha executions share a basic broadcast count sequence
+/// prefix of length k.  By the pigeonhole bound a collision is guaranteed
+/// once more than 3^k candidates are tried.
+std::optional<CollidingPair> find_alpha_collision(
+    const ConsensusAlgorithm& algorithm, std::size_t n,
+    std::uint64_t num_values, Round k, std::uint64_t max_candidates);
+
+/// Same search over beta executions and binary broadcast sequences
+/// (collision guaranteed past 2^k candidates).
+std::optional<CollidingPair> find_beta_collision(
+    const ConsensusAlgorithm& algorithm, std::size_t n,
+    std::uint64_t num_values, Round k, std::uint64_t max_candidates);
+
+}  // namespace ccd

@@ -1,0 +1,60 @@
+// Composed (gamma) executions: two groups run "their own" execution inside
+// one system, cross-group messages are lost, and the detector/manager
+// behaviours stay inside their class envelopes -- the construction of
+// Lemma 23 and of the Theorem 4 / Theorem 8 impossibility proofs.
+//
+// The key observation that makes these executables rather than just
+// proofs: under a PartitionAdversary, the *forced* part of a half-complete
+// detector's envelope plus a prefer-null policy produces EXACTLY the
+// advice Lemma 23 needs --
+//   * one broadcaster per group: c = 2, each receiver got 1 of 2 messages,
+//     exactly half, so half-completeness forces nothing and prefer-null
+//     reports null;
+//   * two-plus broadcasters per group: every receiver misses more than
+//     half, so a report is forced at everyone;
+//   * silence: accuracy forces null.
+// Each group is therefore indistinguishable from its solo alpha execution
+// while the basic broadcast count sequences agree -- and if both alpha
+// executions decided within the shared prefix, the composition violates
+// agreement.  (A majority-complete detector would be FORCED to report in
+// the one-per-group case, which is precisely how Algorithm 1 escapes.)
+#pragma once
+
+#include <memory>
+
+#include "cd/detector_spec.hpp"
+#include "cd/policies.hpp"
+#include "consensus/harness.hpp"
+
+namespace ccd {
+
+struct CompositionOutcome {
+  RunSummary summary;
+  /// Distinct values decided inside group A / group B (kNoValue if none).
+  Value group_a_value = kNoValue;
+  Value group_b_value = kNoValue;
+  Round group_a_last_decision = 0;
+  Round group_b_last_decision = 0;
+  bool groups_disagree = false;
+};
+
+struct CompositionConfig {
+  std::size_t group_size = 4;
+  Value value_a = 0;
+  Value value_b = 1;
+  /// Partition (and double-leader advice) persists through round k;
+  /// round k+1 heals the channel and stabilizes the leader service.
+  Round k = 8;
+  /// kNeverRound keeps the partition forever (Theorem 8-style NoCF runs).
+  bool heal = true;
+  DetectorSpec spec = DetectorSpec::HalfAC();
+  Round max_rounds = 1000;
+  std::uint64_t id_base = 0;
+};
+
+/// Run the composed execution of `algorithm` under `config`, with a
+/// prefer-null maximal detector for the given spec.
+CompositionOutcome run_composition(const ConsensusAlgorithm& algorithm,
+                                   const CompositionConfig& config);
+
+}  // namespace ccd

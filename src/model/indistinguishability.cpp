@@ -1,0 +1,21 @@
+#include "model/indistinguishability.hpp"
+
+#include <algorithm>
+
+namespace ccd {
+
+Round indistinguishable_prefix(const ProcessView& a, const ProcessView& b) {
+  if (a.initial_value != b.initial_value) return 0;
+  const std::size_t limit = std::min(a.rounds.size(), b.rounds.size());
+  std::size_t r = 0;
+  while (r < limit && a.rounds[r] == b.rounds[r]) ++r;
+  return static_cast<Round>(r);
+}
+
+bool indistinguishable_through(const ProcessView& a, const ProcessView& b,
+                               Round r) {
+  if (a.rounds.size() < r || b.rounds.size() < r) return false;
+  return indistinguishable_prefix(a, b) >= r;
+}
+
+}  // namespace ccd

@@ -1,0 +1,27 @@
+// Indistinguishability (Definition 12): two executions a, a' of the same
+// algorithm are indistinguishable with respect to process i through round r
+// iff i has the same initial state and the same per-round sequence of state,
+// outgoing message, receive multiset, CD advice and CM advice in both.
+//
+// Since our processes are deterministic automata, equality of (initial
+// value, per-round inputs) implies equality of states; we therefore compare
+// ProcessViews, which is exactly the information the lower-bound proofs
+// manipulate (Lemmas 20, 23; Theorems 4, 8).
+#pragma once
+
+#include <cstddef>
+
+#include "model/traces.hpp"
+
+namespace ccd {
+
+/// Largest r such that `a` and `b` agree on the initial value and on every
+/// round view 1..r.  Returns 0 if even the initial values differ.
+Round indistinguishable_prefix(const ProcessView& a, const ProcessView& b);
+
+/// True iff indistinguishable through round r (requires both views to cover
+/// at least r rounds).
+bool indistinguishable_through(const ProcessView& a, const ProcessView& b,
+                               Round r);
+
+}  // namespace ccd

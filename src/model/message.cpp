@@ -1,0 +1,43 @@
+#include "model/message.hpp"
+
+#include <algorithm>
+
+namespace ccd {
+
+std::vector<Value> unique_values(std::span<const Message> received,
+                                 Message::Kind kind) {
+  std::vector<Value> out;
+  out.reserve(received.size());
+  for (const Message& m : received) {
+    if (m.kind == kind) out.push_back(m.value);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t count_kind(std::span<const Message> received, Message::Kind kind) {
+  std::size_t n = 0;
+  for (const Message& m : received) {
+    if (m.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string to_string(const Message& m) {
+  switch (m.kind) {
+    case Message::Kind::kEstimate:
+      return "est(" + std::to_string(m.value) + ")";
+    case Message::Kind::kVeto:
+      return "veto";
+    case Message::Kind::kVote:
+      return "vote";
+    case Message::Kind::kLeaderValue:
+      return "leader(" + std::to_string(m.value) + ")";
+    case Message::Kind::kPayload:
+      return "payload(" + std::to_string(m.value) + ")";
+  }
+  return "?";
+}
+
+}  // namespace ccd

@@ -1,0 +1,48 @@
+// The fixed message alphabet M (Section 3.1).
+//
+// The algorithms in the paper only ever broadcast a handful of message
+// shapes: a value estimate, a one-bit "veto" mark, a one-bit "vote" mark,
+// and (for the non-anonymous Section 7.3 protocol) a leader announcement
+// carrying a value.  We encode them in one POD struct so receive sets are
+// cheap flat vectors (a receive set is a *multiset* over M; Definition 11,
+// constraint 4).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace ccd {
+
+struct Message {
+  enum class Kind : std::uint8_t {
+    kEstimate = 0,     ///< Algorithm 1/2 prepare|proposal broadcast of estimate
+    kVeto = 1,         ///< negative acknowledgement mark
+    kVote = 2,         ///< Algorithm 3 BST vote mark
+    kLeaderValue = 3,  ///< Section 7.3 phase-2 leader value announcement
+    kPayload = 4,      ///< generic application payload (examples)
+  };
+
+  Kind kind = Kind::kPayload;
+  Value value = 0;          ///< meaningful for kEstimate/kLeaderValue/kPayload
+  std::uint64_t tag = 0;    ///< algorithm-specific discriminator (e.g. epoch)
+
+  friend auto operator<=>(const Message&, const Message&) = default;
+};
+
+/// SET(M) of the paper's preliminaries: the distinct values appearing in a
+/// receive multiset, restricted to messages of the given kind.  Sorted
+/// ascending, so front() is the min{} the algorithms take.
+std::vector<Value> unique_values(std::span<const Message> received,
+                                 Message::Kind kind);
+
+/// Count messages of a given kind in a receive multiset.
+std::size_t count_kind(std::span<const Message> received, Message::Kind kind);
+
+std::string to_string(const Message& m);
+
+}  // namespace ccd

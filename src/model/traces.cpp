@@ -1,0 +1,31 @@
+#include "model/traces.hpp"
+
+namespace ccd {
+
+BroadcastCount TransmissionTrace::broadcast_count(Round r) const {
+  const std::uint32_t c = at(r).broadcaster_count;
+  if (c == 0) return BroadcastCount::kZero;
+  if (c == 1) return BroadcastCount::kOne;
+  return BroadcastCount::kTwoPlus;
+}
+
+std::vector<BroadcastCount> TransmissionTrace::basic_broadcast_sequence(
+    std::size_t k) const {
+  std::vector<BroadcastCount> seq;
+  const std::size_t limit = k < rounds_.size() ? k : rounds_.size();
+  seq.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    seq.push_back(broadcast_count(static_cast<Round>(i + 1)));
+  }
+  return seq;
+}
+
+std::uint32_t CmTrace::active_count(Round r) const {
+  std::uint32_t n = 0;
+  for (CmAdvice a : at(r)) {
+    if (a == CmAdvice::kActive) ++n;
+  }
+  return n;
+}
+
+}  // namespace ccd

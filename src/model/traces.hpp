@@ -1,0 +1,87 @@
+// Trace objects of Section 3.1 (Definitions 4, 5, 7) plus the per-process
+// execution view used for indistinguishability arguments (Definition 12).
+//
+// A P-transmission trace records, per round, the broadcaster count c and
+// the per-process receive count T(i).  A P-CD trace records the collision
+// detector advice per round; a P-CM trace the contention manager advice.
+// These are exactly the objects the detector/manager definitions and the
+// lower-bound constructions quantify over.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/message.hpp"
+#include "model/types.hpp"
+
+namespace ccd {
+
+/// One round of a P-transmission trace: (c, T).
+struct TransmissionRound {
+  std::uint32_t broadcaster_count = 0;       ///< c
+  std::vector<std::uint32_t> receive_count;  ///< T : P -> [0, c]
+};
+
+/// Basic broadcast count (Definition 22): 0, 1, or 2+ broadcasters.
+enum class BroadcastCount : std::uint8_t { kZero = 0, kOne = 1, kTwoPlus = 2 };
+
+class TransmissionTrace {
+ public:
+  void push(TransmissionRound round) { rounds_.push_back(std::move(round)); }
+  std::size_t num_rounds() const { return rounds_.size(); }
+  /// Round r, 1-based as in the paper.
+  const TransmissionRound& at(Round r) const { return rounds_.at(r - 1); }
+
+  BroadcastCount broadcast_count(Round r) const;
+
+  /// Basic broadcast count sequence over the first k rounds (Definition 22).
+  std::vector<BroadcastCount> basic_broadcast_sequence(std::size_t k) const;
+
+ private:
+  std::vector<TransmissionRound> rounds_;
+};
+
+class CdTrace {
+ public:
+  void push(std::vector<CdAdvice> round) { rounds_.push_back(std::move(round)); }
+  std::size_t num_rounds() const { return rounds_.size(); }
+  const std::vector<CdAdvice>& at(Round r) const { return rounds_.at(r - 1); }
+
+ private:
+  std::vector<std::vector<CdAdvice>> rounds_;
+};
+
+class CmTrace {
+ public:
+  void push(std::vector<CmAdvice> round) { rounds_.push_back(std::move(round)); }
+  std::size_t num_rounds() const { return rounds_.size(); }
+  const std::vector<CmAdvice>& at(Round r) const { return rounds_.at(r - 1); }
+
+  /// Number of processes advised active in round r.
+  std::uint32_t active_count(Round r) const;
+
+ private:
+  std::vector<std::vector<CmAdvice>> rounds_;
+};
+
+/// Everything process i observes in one round (its slice of M_r, N_r, D_r,
+/// W_r in Definition 11).  Two executions are indistinguishable to i through
+/// round r iff these views (plus the initial state) coincide for rounds 1..r.
+struct RoundView {
+  std::optional<Message> sent;     ///< M_r[i]
+  std::vector<Message> received;   ///< N_r[i] (multiset; stored sorted)
+  CdAdvice cd = CdAdvice::kNull;   ///< D_r[i]
+  CmAdvice cm = CmAdvice::kPassive;  ///< W_r[i]
+  bool crashed = false;            ///< entered fail state by end of round
+
+  friend bool operator==(const RoundView&, const RoundView&) = default;
+};
+
+/// Full per-process view of an execution.
+struct ProcessView {
+  Value initial_value = kNoValue;
+  std::vector<RoundView> rounds;  ///< index 0 is round 1
+};
+
+}  // namespace ccd

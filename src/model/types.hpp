@@ -1,0 +1,59 @@
+// Core strong types shared by every module.
+//
+// The paper (Section 3.1) models a synchronous single-hop broadcast network:
+// a finite index set I of processes, a fixed message alphabet M, and
+// round-numbered executions.  We mirror those objects here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ccd {
+
+/// Index of a process within the environment's index set P (Definition 9).
+/// Indices are dense 0..n-1 inside a simulation; the *identifier* a
+/// non-anonymous algorithm sees may be a different, sparse value (see
+/// ProcessIdentity below).
+using ProcessId = std::uint32_t;
+
+/// Round number.  Rounds are 1-based as in the paper; round 0 denotes the
+/// initial configuration C0.
+using Round = std::uint32_t;
+
+/// An element of the consensus value set V.  Values are canonically the
+/// integers 0..|V|-1; the binary representation V^{0,1} used by Algorithm 2
+/// is produced by util/bitcodec.
+using Value = std::uint64_t;
+
+/// Sentinel meaning "no value decided yet".
+inline constexpr Value kNoValue = std::numeric_limits<Value>::max();
+
+/// Sentinel for "no such round" / "never".
+inline constexpr Round kNeverRound = std::numeric_limits<Round>::max();
+
+/// Advice returned by a collision detector each round (Section 1.3):
+/// kNull roughly means "you did not lose messages this round";
+/// kCollision (the paper's "±") roughly means "you lost a message".
+enum class CdAdvice : std::uint8_t { kNull = 0, kCollision = 1 };
+
+/// Advice returned by a contention manager each round (Section 4):
+/// kActive suggests the process may broadcast, kPassive that it stay silent.
+enum class CmAdvice : std::uint8_t { kPassive = 0, kActive = 1 };
+
+/// Identity information made available to a process.  Anonymous algorithms
+/// (Definition 3) must ignore `id`; the harness enforces this by running
+/// anonymity self-checks in tests (identical behaviour under relabeling).
+struct ProcessIdentity {
+  ProcessId index = 0;   ///< dense simulation index (never shown to anon algs)
+  std::uint64_t id = 0;  ///< element of the identifier space I
+  bool has_unique_id = false;
+};
+
+inline const char* to_string(CdAdvice a) {
+  return a == CdAdvice::kCollision ? "+-" : "null";
+}
+inline const char* to_string(CmAdvice a) {
+  return a == CmAdvice::kActive ? "active" : "passive";
+}
+
+}  // namespace ccd

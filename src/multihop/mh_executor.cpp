@@ -1,0 +1,92 @@
+#include "multihop/mh_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccd {
+
+MultihopExecutor::MultihopExecutor(
+    Topology topology, std::vector<std::unique_ptr<Process>> processes,
+    DetectorSpec spec, std::unique_ptr<AdvicePolicy> policy, MhLinkModel link,
+    std::uint64_t seed)
+    : topology_(std::move(topology)),
+      processes_(std::move(processes)),
+      spec_(spec),
+      policy_(std::move(policy)),
+      link_(link),
+      rng_(seed) {
+  assert(topology_.size() == processes_.size());
+  const std::size_t n = processes_.size();
+  sent_.resize(n);
+  recv_.resize(n);
+  last_receive_count_.assign(n, 0);
+  last_local_c_.assign(n, 0);
+  last_cd_.assign(n, CdAdvice::kNull);
+}
+
+void MultihopExecutor::step() {
+  const std::size_t n = processes_.size();
+  const Round r = ++round_;
+
+  // Sends.  Multihop protocols manage their own contention (no global
+  // contention manager can exist without global coordination), so every
+  // process is advised active.
+  for (std::size_t i = 0; i < n; ++i) {
+    sent_[i] = processes_[i]->halted()
+                   ? std::nullopt
+                   : processes_[i]->on_send(r, CmAdvice::kActive);
+  }
+
+  // Delivery: per receiver, over its broadcasting neighbors.
+  for (std::size_t i = 0; i < n; ++i) {
+    recv_[i].clear();
+    broadcasting_neighbors_.clear();
+    for (std::uint32_t j : topology_.neighbors(i)) {
+      if (sent_[j].has_value()) broadcasting_neighbors_.push_back(j);
+    }
+    std::uint32_t local_c =
+        static_cast<std::uint32_t>(broadcasting_neighbors_.size());
+    if (sent_[i].has_value()) {
+      ++local_c;                       // own broadcast counts toward c_i
+      recv_[i].push_back(*sent_[i]);   // and is always self-delivered
+    }
+    if (broadcasting_neighbors_.size() == 1) {
+      if (rng_.chance(link_.p_single)) {
+        recv_[i].push_back(*sent_[broadcasting_neighbors_.front()]);
+      }
+    } else if (broadcasting_neighbors_.size() > 1) {
+      if (rng_.chance(link_.p_capture)) {
+        const std::uint32_t j = broadcasting_neighbors_[rng_.below(
+            broadcasting_neighbors_.size())];
+        recv_[i].push_back(*sent_[j]);
+      }
+    }
+    std::sort(recv_[i].begin(), recv_[i].end());
+    last_receive_count_[i] = static_cast<std::uint32_t>(recv_[i].size());
+    last_local_c_[i] = local_c;
+  }
+
+  // Collision detector advice from the per-receiver local counts.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = last_local_c_[i];
+    const std::uint32_t t = last_receive_count_[i];
+    CdAdvice advice;
+    if (spec_.collision_forced(c, t)) {
+      advice = CdAdvice::kCollision;
+    } else if (spec_.null_forced(r, c, t)) {
+      advice = CdAdvice::kNull;
+    } else {
+      advice = policy_->choose(r, static_cast<ProcessId>(i), c, t);
+    }
+    assert(spec_.advice_legal(r, c, t, advice));
+    last_cd_[i] = advice;
+  }
+
+  // Transitions.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (processes_[i]->halted()) continue;
+    processes_[i]->on_receive(r, recv_[i], last_cd_[i], CmAdvice::kActive);
+  }
+}
+
+}  // namespace ccd

@@ -1,0 +1,76 @@
+// Multihop round executor: Definition 11 generalized from a clique to an
+// arbitrary topology, exactly the extension the paper's conclusion plans.
+//
+// Per round, for each receiver i the relevant broadcaster count is LOCAL:
+//   c_i = |{ j : j broadcast and (j == i or j adjacent to i) }|
+// and T(i) counts the messages i actually received (self-delivery always
+// holds for broadcasters).  Collision detector advice is produced from the
+// same DetectorSpec envelope as in the single-hop model, evaluated on
+// (c_i, T(i)) -- on a clique this degenerates to the single-hop semantics
+// (mh_executor_test pins that equivalence down).
+//
+// The link model mirrors the capture-effect physics of Section 1.1: a lone
+// broadcasting neighbor is received with probability p_single (1.0 models
+// collision freedom); under contention each receiver independently
+// captures at most one of its broadcasting neighbors with probability
+// p_capture.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cd/oracle_detector.hpp"
+#include "model/process.hpp"
+#include "multihop/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ccd {
+
+struct MhLinkModel {
+  double p_single = 1.0;   ///< lone-neighbor delivery probability
+  double p_capture = 0.5;  ///< chance to capture one of several neighbors
+};
+
+class MultihopExecutor {
+ public:
+  MultihopExecutor(Topology topology,
+                   std::vector<std::unique_ptr<Process>> processes,
+                   DetectorSpec spec, std::unique_ptr<AdvicePolicy> policy,
+                   MhLinkModel link, std::uint64_t seed);
+
+  void step();
+  Round current_round() const { return round_; }
+
+  const Topology& topology() const { return topology_; }
+  Process& process(std::size_t i) { return *processes_[i]; }
+  std::size_t size() const { return processes_.size(); }
+
+  /// Receive count of process i in the last executed round.
+  std::uint32_t last_receive_count(std::size_t i) const {
+    return last_receive_count_[i];
+  }
+  /// Local broadcaster count c_i in the last executed round.
+  std::uint32_t last_local_broadcasters(std::size_t i) const {
+    return last_local_c_[i];
+  }
+  CdAdvice last_cd(std::size_t i) const { return last_cd_[i]; }
+
+ private:
+  Topology topology_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  DetectorSpec spec_;
+  std::unique_ptr<AdvicePolicy> policy_;
+  MhLinkModel link_;
+  Rng rng_;
+  Round round_ = 0;
+
+  // Scratch.
+  std::vector<std::optional<Message>> sent_;
+  std::vector<std::vector<Message>> recv_;
+  std::vector<std::uint32_t> last_receive_count_;
+  std::vector<std::uint32_t> last_local_c_;
+  std::vector<CdAdvice> last_cd_;
+  std::vector<std::uint32_t> broadcasting_neighbors_;  // per receiver
+};
+
+}  // namespace ccd

@@ -1,0 +1,124 @@
+#include "multihop/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace ccd {
+
+void Topology::add_edge(std::size_t a, std::size_t b) {
+  assert(a != b && a < size() && b < size());
+  adjacency_[a].push_back(static_cast<std::uint32_t>(b));
+  adjacency_[b].push_back(static_cast<std::uint32_t>(a));
+}
+
+Topology Topology::clique(std::size_t n) {
+  Topology t(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) t.add_edge(a, b);
+  }
+  for (auto& adj : t.adjacency_) std::sort(adj.begin(), adj.end());
+  return t;
+}
+
+Topology Topology::line(std::size_t n) {
+  Topology t(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) t.add_edge(i, i + 1);
+  return t;
+}
+
+Topology Topology::grid(std::size_t width, std::size_t height) {
+  Topology t(width * height);
+  auto id = [width](std::size_t x, std::size_t y) { return y * width + x; };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) t.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) t.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  for (auto& adj : t.adjacency_) std::sort(adj.begin(), adj.end());
+  return t;
+}
+
+Topology Topology::random_geometric(std::size_t n, double radius,
+                                    std::uint64_t seed) {
+  Topology t(n);
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> points(n);
+  for (auto& p : points) p = {rng.uniform(), rng.uniform()};
+  const double r2 = radius * radius;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double dx = points[a].first - points[b].first;
+      const double dy = points[a].second - points[b].second;
+      if (dx * dx + dy * dy <= r2) t.add_edge(a, b);
+    }
+  }
+  for (auto& adj : t.adjacency_) std::sort(adj.begin(), adj.end());
+  return t;
+}
+
+bool Topology::adjacent(std::size_t a, std::size_t b) const {
+  const auto& adj = adjacency_[a];
+  return std::binary_search(adj.begin(), adj.end(),
+                            static_cast<std::uint32_t>(b));
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  return best;
+}
+
+std::vector<std::uint32_t> Topology::bfs(std::size_t from) const {
+  std::vector<std::uint32_t> dist(size(), kUnreachable);
+  std::deque<std::uint32_t> queue;
+  dist[from] = 0;
+  queue.push_back(static_cast<std::uint32_t>(from));
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t v : adjacency_[u]) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Topology::distance(std::size_t from, std::size_t to) const {
+  return bfs(from)[to];
+}
+
+bool Topology::connected() const {
+  if (size() == 0) return true;
+  const auto dist = bfs(0);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == kUnreachable;
+  });
+}
+
+std::uint32_t Topology::eccentricity(std::size_t from) const {
+  const auto dist = bfs(from);
+  std::uint32_t worst = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+std::uint32_t Topology::diameter() const {
+  std::uint32_t worst = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::uint32_t e = eccentricity(i);
+    if (e == kUnreachable) return kUnreachable;
+    worst = std::max(worst, e);
+  }
+  return worst;
+}
+
+}  // namespace ccd

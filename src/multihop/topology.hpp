@@ -1,0 +1,61 @@
+// Multihop network topologies -- the extension the paper's conclusion
+// announces ("In the near future, we plan to extend our formal model to
+// describe a multihop network").
+//
+// A topology is a fixed undirected graph over process indices; local radio
+// broadcast reaches exactly the neighbors.  Generators cover the standard
+// shapes of the broadcast literature discussed in Section 1.1: cliques
+// (which recover the single-hop model), lines and grids (diameter-bound
+// experiments, cf. the Omega(D log(N/D)) broadcast bound [46]), and random
+// geometric graphs (unit-disk radio models).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccd {
+
+class Topology {
+ public:
+  static Topology clique(std::size_t n);
+  static Topology line(std::size_t n);
+  static Topology grid(std::size_t width, std::size_t height);
+  /// n points uniform in the unit square, edge iff distance <= radius.
+  static Topology random_geometric(std::size_t n, double radius,
+                                   std::uint64_t seed);
+
+  std::size_t size() const { return adjacency_.size(); }
+
+  /// Neighbors of i (excluding i), sorted ascending.
+  const std::vector<std::uint32_t>& neighbors(std::size_t i) const {
+    return adjacency_[i];
+  }
+
+  bool adjacent(std::size_t a, std::size_t b) const;
+
+  std::size_t degree(std::size_t i) const { return adjacency_[i].size(); }
+  std::size_t max_degree() const;
+
+  /// BFS hop distance; kUnreachable if disconnected.
+  static constexpr std::uint32_t kUnreachable = ~0u;
+  std::uint32_t distance(std::size_t from, std::size_t to) const;
+
+  bool connected() const;
+
+  /// Max over pairs of the hop distance (kUnreachable if disconnected).
+  std::uint32_t diameter() const;
+
+  /// Eccentricity of one node: max hop distance to any other node.
+  std::uint32_t eccentricity(std::size_t from) const;
+
+ private:
+  explicit Topology(std::size_t n) : adjacency_(n) {}
+  void add_edge(std::size_t a, std::size_t b);
+  std::vector<std::uint32_t> bfs(std::size_t from) const;
+
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+}  // namespace ccd

@@ -1,0 +1,10 @@
+#include "net/loss_adversary.hpp"
+
+namespace ccd {
+
+void DeliveryMatrix::reset(std::size_t n, bool value) {
+  n_ = n;
+  bits_.assign(n * n, value);
+}
+
+}  // namespace ccd

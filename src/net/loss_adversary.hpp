@@ -1,0 +1,58 @@
+// Message-loss adversaries.
+//
+// The execution definition (Definition 11, constraints 4-5) places almost
+// no limit on loss: any process may lose any subset of the messages sent by
+// OTHERS in any round; broadcasters always receive their own message.  The
+// only positive property the paper ever assumes is Eventual Collision
+// Freedom (Property 1): there is a round r_cf after which a LONE
+// broadcaster is heard by everybody.
+//
+// An adversary fills a delivery matrix each round; the executor enforces
+// self-delivery and derives receive multisets and the transmission trace
+// from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace ccd {
+
+/// Row-major n x n boolean matrix; entry (receiver, sender).
+class DeliveryMatrix {
+ public:
+  void reset(std::size_t n, bool value);
+  bool delivered(std::size_t receiver, std::size_t sender) const {
+    return bits_[receiver * n_ + sender];
+  }
+  void set(std::size_t receiver, std::size_t sender, bool value) {
+    bits_[receiver * n_ + sender] = value;
+  }
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<bool> bits_;
+};
+
+class LossAdversary {
+ public:
+  virtual ~LossAdversary() = default;
+
+  /// Decide delivery for round `round`.  `sent[j]` is true iff process j
+  /// broadcast (crashed processes never have sent[j] set).  `out` arrives
+  /// reset to all-false; set (i, j) for every message of j that i receives.
+  /// Self-delivery for senders is enforced by the executor afterwards, so
+  /// adversaries need not (but may) set the diagonal.
+  virtual void decide_delivery(Round round, const std::vector<bool>& sent,
+                               DeliveryMatrix& out) = 0;
+
+  /// The r_cf posited by eventual collision freedom, or kNeverRound if this
+  /// adversary offers no such guarantee (NoCF executions).
+  virtual Round r_cf() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace ccd

@@ -1,0 +1,14 @@
+#include "net/no_loss.hpp"
+
+namespace ccd {
+
+void NoLoss::decide_delivery(Round /*round*/, const std::vector<bool>& sent,
+                             DeliveryMatrix& out) {
+  const std::size_t n = sent.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!sent[j]) continue;
+    for (std::size_t i = 0; i < n; ++i) out.set(i, j, true);
+  }
+}
+
+}  // namespace ccd

@@ -1,0 +1,60 @@
+// Execution recording: the C0, M_r, N_r, D_r, W_r sequence of Definition 11
+// projected into the three trace objects plus per-process views.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/traces.hpp"
+#include "model/types.hpp"
+
+namespace ccd {
+
+struct DecisionRecord {
+  ProcessId process = 0;
+  Round round = 0;
+  Value value = kNoValue;
+};
+
+struct CrashRecord {
+  ProcessId process = 0;
+  Round round = 0;
+};
+
+class ExecutionLog {
+ public:
+  explicit ExecutionLog(std::size_t num_processes, bool record_views = true);
+
+  void set_initial_value(ProcessId i, Value v);
+
+  /// Append one completed round.
+  void push_round(TransmissionRound tr, std::vector<CdAdvice> cd,
+                  std::vector<CmAdvice> cm,
+                  std::vector<RoundView> views);  // views empty when disabled
+
+  void record_decision(ProcessId i, Round r, Value v);
+  void record_crash(ProcessId i, Round r);
+
+  std::size_t num_processes() const { return num_processes_; }
+  std::size_t num_rounds() const { return transmission_.num_rounds(); }
+  bool views_recorded() const { return record_views_; }
+
+  const TransmissionTrace& transmission() const { return transmission_; }
+  const CdTrace& cd_trace() const { return cd_; }
+  const CmTrace& cm_trace() const { return cm_; }
+  const ProcessView& view(ProcessId i) const { return views_.at(i); }
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+  const std::vector<CrashRecord>& crashes() const { return crashes_; }
+
+ private:
+  std::size_t num_processes_;
+  bool record_views_;
+  TransmissionTrace transmission_;
+  CdTrace cd_;
+  CmTrace cm_;
+  std::vector<ProcessView> views_;
+  std::vector<DecisionRecord> decisions_;
+  std::vector<CrashRecord> crashes_;
+};
+
+}  // namespace ccd

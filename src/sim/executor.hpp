@@ -1,0 +1,87 @@
+// Synchronous round executor implementing Definition 11's semantics:
+//
+//   W_r  contention advice        (constraint 7: from the manager)
+//   M_r  message assignment       (constraint 3: the msg function)
+//   N_r  receive multisets        (constraints 4-5: loss adversary +
+//                                  enforced self-delivery / integrity /
+//                                  no-duplication)
+//   D_r  collision advice         (constraint 6: detector envelope)
+//   C_r  state transitions        (constraint 2: trans function, or the
+//                                  absorbing fail state chosen by the
+//                                  failure adversary)
+//
+// Crash semantics: a kAfterSend crash in round r lets the round-r message
+// out but skips the transition -- exactly the formal model's "C_r[i] =
+// fail" branch.  A kBeforeSend crash silences the process from round r on.
+//
+// Halted processes (decided-and-halted, Algorithms 1-3) are correct but no
+// longer participate: they stop broadcasting and transitioning.  The alive
+// mask passed to practical contention managers excludes them, mirroring a
+// real wake-up service that stops scheduling devices which left the
+// protocol.
+#pragma once
+
+#include <vector>
+
+#include "sim/execution_log.hpp"
+#include "sim/world.hpp"
+
+namespace ccd {
+
+struct ExecutorOptions {
+  bool record_views = true;
+  /// Stop run() as soon as every non-crashed process has decided.
+  bool stop_when_all_decided = true;
+};
+
+struct RunResult {
+  bool all_correct_decided = false;
+  Round last_decision_round = 0;  ///< max decision round among correct procs
+  Round rounds_executed = 0;
+  std::uint32_t num_crashed = 0;
+};
+
+class Executor {
+ public:
+  Executor(World world, ExecutorOptions options = {});
+
+  /// Execute exactly one round.
+  void step();
+
+  /// Execute until all non-crashed processes decide (if enabled) or
+  /// max_rounds elapse.
+  RunResult run(Round max_rounds);
+
+  Round current_round() const { return round_; }
+  const ExecutionLog& log() const { return log_; }
+  const World& world() const { return world_; }
+
+  bool alive(ProcessId i) const { return alive_[i]; }
+  bool decided(ProcessId i) const { return decided_value_[i] != kNoValue; }
+  Value decision(ProcessId i) const { return decided_value_[i]; }
+
+  /// True iff every non-crashed process has decided.
+  bool all_correct_decided() const;
+
+ private:
+  World world_;
+  ExecutorOptions options_;
+  ExecutionLog log_;
+  Round round_ = 0;
+
+  std::vector<bool> alive_;
+  std::vector<bool> participating_;  // alive and not halted; scratch
+  std::vector<Value> decided_value_;
+
+  // Per-round scratch buffers (reused to avoid churn).
+  std::vector<CmAdvice> cm_advice_;
+  std::vector<CdAdvice> cd_advice_;
+  std::vector<bool> crash_mask_;
+  std::vector<bool> sent_flag_;
+  std::vector<std::optional<Message>> sent_msg_;
+  std::vector<std::vector<Message>> recv_;
+  std::vector<std::uint32_t> recv_count_;
+  DeliveryMatrix delivery_;
+};
+
+}  // namespace ccd

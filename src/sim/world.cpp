@@ -1,0 +1,30 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+namespace ccd {
+
+Round World::cst() const {
+  Round r_cf = loss ? loss->r_cf() : kNeverRound;
+  Round r_wake = cm ? cm->stabilization_round() : kNeverRound;
+  Round r_acc = kNeverRound;
+  if (cd) {
+    switch (cd->spec().accuracy) {
+      case Accuracy::kAccurate:
+        r_acc = 1;
+        break;
+      case Accuracy::kEventual:
+        r_acc = cd->spec().r_acc;
+        break;
+      case Accuracy::kNone:
+        r_acc = kNeverRound;
+        break;
+    }
+  }
+  if (r_cf == kNeverRound || r_wake == kNeverRound || r_acc == kNeverRound) {
+    return kNeverRound;
+  }
+  return std::max({r_cf, r_wake, r_acc});
+}
+
+}  // namespace ccd

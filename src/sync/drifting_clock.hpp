@@ -1,0 +1,41 @@
+// Drifting hardware clocks (Section 1.1: "local clocks can operate at
+// varying rates depending on temporal environmental effects").
+//
+// A device's hardware clock advances at a fixed (but unknown to the
+// device) rate within [1 - rho, 1 + rho] of real time, from an arbitrary
+// initial offset.  The round synchronizer (round_synchronizer.hpp) builds
+// the synchronized-round abstraction the consensus model presupposes on
+// top of these clocks.
+#pragma once
+
+#include <cstdint>
+
+namespace ccd {
+
+class DriftingClock {
+ public:
+  /// rate must be positive; typically within [1 - rho, 1 + rho].
+  DriftingClock(double rate, double offset) : rate_(rate), offset_(offset) {}
+
+  /// Hardware (local) time as a function of real time.
+  double local_time(double real_time) const {
+    return rate_ * real_time + offset_;
+  }
+
+  /// Inverse: the real time at which the clock shows `local`.
+  double real_time(double local) const { return (local - offset_) / rate_; }
+
+  /// Elapsed local time across a real interval.
+  double local_elapsed(double real_duration) const {
+    return rate_ * real_duration;
+  }
+
+  double rate() const { return rate_; }
+  double offset() const { return offset_; }
+
+ private:
+  double rate_;
+  double offset_;
+};
+
+}  // namespace ccd

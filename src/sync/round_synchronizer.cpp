@@ -1,0 +1,142 @@
+#include "sync/round_synchronizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ccd {
+
+RoundSynchronizer::RoundSynchronizer(Options options)
+    : options_(options) {
+  assert(options_.n >= 1);
+  assert(options_.epoch > 0 && options_.round_length > 0);
+  Rng rng(options_.seed);
+
+  clocks_.reserve(options_.n);
+  for (std::size_t i = 0; i < options_.n; ++i) {
+    const double rate =
+        1.0 + options_.rho * (2.0 * rng.uniform() - 1.0);
+    const double offset = 10.0 * (rng.uniform() - 0.5);
+    clocks_.emplace_back(rate, offset);
+  }
+
+  receptions_.resize(options_.n);
+  std::vector<int> loss_run(options_.n, 0);
+  const int beacons =
+      static_cast<int>(std::floor(options_.horizon / options_.epoch));
+  for (int k = 1; k <= beacons; ++k) {
+    const double nominal = k * options_.epoch;
+    for (std::size_t i = 0; i < options_.n; ++i) {
+      // Bootstrap beacon (k == 1) is always heard so every device joins;
+      // afterwards losses are iid.
+      if (k > 1 && rng.chance(options_.beacon_loss)) {
+        ++loss_run[i];
+        longest_loss_run_ = std::max(longest_loss_run_, loss_run[i]);
+        continue;
+      }
+      loss_run[i] = 0;
+      const double jitter = options_.jitter * (2.0 * rng.uniform() - 1.0);
+      receptions_[i].push_back({nominal + jitter, nominal});
+    }
+  }
+  for (std::size_t i = 0; i < options_.n; ++i) {
+    assert(!receptions_[i].empty());
+    bootstrap_time_ =
+        std::max(bootstrap_time_, receptions_[i].front().real_time);
+  }
+}
+
+const RoundSynchronizer::Reception* RoundSynchronizer::latest_reception(
+    std::size_t device, double real_time) const {
+  const auto& rs = receptions_[device];
+  // Binary search for the last reception with real_time <= t.
+  auto it = std::upper_bound(
+      rs.begin(), rs.end(), real_time,
+      [](double t, const Reception& r) { return t < r.real_time; });
+  if (it == rs.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+double RoundSynchronizer::adjusted_time(std::size_t device,
+                                        double real_time) const {
+  const DriftingClock& clock = clocks_[device];
+  const Reception* anchor = latest_reception(device, real_time);
+  if (anchor == nullptr) {
+    // Pre-bootstrap: free-running hardware clock (arbitrary).
+    return clock.local_time(real_time);
+  }
+  const double local_now = clock.local_time(real_time);
+  const double local_at_anchor = clock.local_time(anchor->real_time);
+  return anchor->nominal_time + (local_now - local_at_anchor);
+}
+
+std::int64_t RoundSynchronizer::round_at(std::size_t device,
+                                         double real_time) const {
+  return static_cast<std::int64_t>(
+      std::floor(adjusted_time(device, real_time) / options_.round_length));
+}
+
+double RoundSynchronizer::skew_at(double real_time) const {
+  double lo = adjusted_time(0, real_time);
+  double hi = lo;
+  for (std::size_t i = 1; i < options_.n; ++i) {
+    const double a = adjusted_time(i, real_time);
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  return hi - lo;
+}
+
+double RoundSynchronizer::measured_max_skew(int samples) const {
+  const double start = bootstrap_time_ + 1e-9;
+  const double span = options_.horizon - start;
+  double worst = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const double t = start + span * (s + 0.5) / samples;
+    worst = std::max(worst, skew_at(t));
+  }
+  return worst;
+}
+
+double RoundSynchronizer::skew_bound() const {
+  // Each device's anchor beacon is at most (G+1) epochs old, so local
+  // elapsed-time error is at most rho * (G+1) * E per device, plus the
+  // reception jitter on each side.
+  return 2.0 * (options_.jitter +
+                options_.rho * (longest_loss_run_ + 1) * options_.epoch);
+}
+
+double RoundSynchronizer::round_agreement_fraction(int samples) const {
+  const double start = bootstrap_time_ + 1e-9;
+  const double span = options_.horizon - start;
+  const double guard = skew_bound();
+  int eligible = 0;
+  int agreeing = 0;
+  for (int s = 0; s < samples; ++s) {
+    const double t = start + span * (s + 0.5) / samples;
+    // Skip sample instants within the guard window of a round boundary
+    // (in any device's adjusted time); agreement is only promised outside.
+    bool in_guard = false;
+    for (std::size_t i = 0; i < options_.n && !in_guard; ++i) {
+      const double a = adjusted_time(i, t);
+      const double phase = a - std::floor(a / options_.round_length) *
+                                   options_.round_length;
+      if (phase < guard || options_.round_length - phase < guard) {
+        in_guard = true;
+      }
+    }
+    if (in_guard) continue;
+    ++eligible;
+    const std::int64_t r0 = round_at(0, t);
+    bool same = true;
+    for (std::size_t i = 1; i < options_.n; ++i) {
+      if (round_at(i, t) != r0) same = false;
+    }
+    if (same) ++agreeing;
+  }
+  return eligible == 0 ? 1.0
+                       : static_cast<double>(agreeing) /
+                             static_cast<double>(eligible);
+}
+
+}  // namespace ccd

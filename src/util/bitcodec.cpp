@@ -1,0 +1,39 @@
+#include "util/bitcodec.hpp"
+
+#include <cassert>
+
+namespace ccd {
+
+std::uint32_t ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  std::uint32_t bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < x) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+BitCodec::BitCodec(std::uint64_t num_values)
+    : num_values_(num_values), width_(ceil_log2(num_values)) {
+  assert(num_values >= 1);
+  if (width_ == 0) width_ = 1;
+}
+
+bool BitCodec::bit(Value v, std::uint32_t b) const {
+  assert(b >= 1 && b <= width_);
+  assert(v < num_values_ || num_values_ == 1);
+  const std::uint32_t shift = width_ - b;  // b=1 -> MSB
+  return ((v >> shift) & 1ULL) != 0;
+}
+
+Value BitCodec::from_bits(const bool* bits) const {
+  Value v = 0;
+  for (std::uint32_t b = 0; b < width_; ++b) {
+    v = (v << 1) | (bits[b] ? 1ULL : 0ULL);
+  }
+  return v;
+}
+
+}  // namespace ccd

@@ -1,0 +1,40 @@
+// Binary representation V^{0,1} of a value set (Section 7, pseudocode
+// conventions): every value in V = {0..|V|-1} is encoded as a unique binary
+// string of length ceil(lg |V|).  Algorithm 2 spells estimates out one bit
+// per round using this encoding; the lower bounds count rounds against
+// lg |V| using the same quantity.
+#pragma once
+
+#include <cstdint>
+
+#include "model/types.hpp"
+
+namespace ccd {
+
+/// ceil(log2(x)) for x >= 1; width 0 is promoted to 1 so that a singleton
+/// value set still has a one-bit (degenerate) encoding.
+std::uint32_t ceil_log2(std::uint64_t x);
+
+/// Fixed-width binary codec over V = {0..num_values-1}.
+class BitCodec {
+ public:
+  explicit BitCodec(std::uint64_t num_values);
+
+  std::uint64_t num_values() const { return num_values_; }
+
+  /// Number of bits per codeword: max(1, ceil(lg |V|)).
+  std::uint32_t width() const { return width_; }
+
+  /// The paper's estimate[b] with b in [1, width()]: bit b of the codeword,
+  /// most-significant bit first (b=1 is the MSB).
+  bool bit(Value v, std::uint32_t b) const;
+
+  /// Inverse: assemble a value from width() bits (MSB first).
+  Value from_bits(const bool* bits) const;
+
+ private:
+  std::uint64_t num_values_;
+  std::uint32_t width_;
+};
+
+}  // namespace ccd

@@ -1,0 +1,52 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic behaviour in the simulator (loss adversaries, backoff
+// contention managers, random crash schedules, random-legal detector
+// policies) flows through Rng so that every execution is reproducible from a
+// single 64-bit seed.  We use xoshiro256** seeded via splitmix64, which is
+// fast, high quality, and has no global state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ccd {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix (useful to derive independent stream seeds).
+std::uint64_t hash_mix(std::uint64_t x);
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xc0ffee123456789ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace ccd

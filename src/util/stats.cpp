@@ -1,0 +1,61 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ccd {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  sorted_valid_ = false;
+}
+
+void Stats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Stats::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Stats::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Stats::mean() const {
+  assert(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  assert(!samples_.empty());
+  const double n = static_cast<double>(samples_.size());
+  const double m = mean();
+  const double var = sum_sq_ / n - m * m;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Stats::percentile(double p) const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  if (p <= 0) return sorted_.front();
+  if (p >= 100) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+}  // namespace ccd

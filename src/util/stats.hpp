@@ -1,0 +1,35 @@
+// Small online statistics accumulator used by the bench harness to report
+// min / max / mean / percentiles of round counts over many seeded runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccd {
+
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// p in [0,100]; nearest-rank percentile.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace ccd

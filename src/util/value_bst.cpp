@@ -1,0 +1,81 @@
+#include "util/value_bst.hpp"
+
+#include <cassert>
+
+namespace ccd {
+
+ValueBstCursor::ValueBstCursor(std::uint64_t num_values)
+    : num_values_(num_values) {
+  assert(num_values >= 1);
+}
+
+ValueBstCursor::Range ValueBstCursor::current() const {
+  Range r{0, num_values_};
+  for (bool went_right : path_) {
+    const std::uint64_t mid = r.mid();
+    if (went_right) {
+      r.lo = mid + 1;
+    } else {
+      r.hi = mid;
+    }
+  }
+  return r;
+}
+
+Value ValueBstCursor::value() const {
+  const Range r = current();
+  assert(r.lo < r.hi);
+  return r.mid();
+}
+
+bool ValueBstCursor::has_left() const {
+  const Range r = current();
+  return r.mid() > r.lo;
+}
+
+bool ValueBstCursor::has_right() const {
+  const Range r = current();
+  return r.mid() + 1 < r.hi;
+}
+
+bool ValueBstCursor::left_contains(Value v) const {
+  const Range r = current();
+  return v >= r.lo && v < r.mid();
+}
+
+bool ValueBstCursor::right_contains(Value v) const {
+  const Range r = current();
+  return v > r.mid() && v < r.hi;
+}
+
+bool ValueBstCursor::is_root() const { return path_.empty(); }
+
+void ValueBstCursor::descend_left() {
+  assert(has_left());
+  path_.push_back(false);
+}
+
+void ValueBstCursor::descend_right() {
+  assert(has_right());
+  path_.push_back(true);
+}
+
+void ValueBstCursor::ascend() {
+  if (!path_.empty()) path_.pop_back();
+}
+
+std::uint32_t ValueBstCursor::tree_height() const {
+  // Height of the implicit tree over m values: the deepest chain follows the
+  // larger half each time.
+  std::uint32_t h = 0;
+  std::uint64_t m = num_values_;
+  while (m > 1) {
+    const std::uint64_t left = (m - 1) / 2;         // size of left subtree
+    const std::uint64_t right = m - 1 - left;       // size of right subtree
+    m = left > right ? left : right;
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace ccd

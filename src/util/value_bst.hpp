@@ -1,0 +1,70 @@
+// Implicit balanced binary search tree over the value set V = {0..|V|-1},
+// used by Algorithm 3 (Section 7.4).
+//
+// The paper's Algorithm 3 walks "a balanced binary search tree
+// representation of V" with a curr pointer supporting val[curr],
+// left[curr], right[curr] and parent[curr].  We represent nodes implicitly
+// as half-open ranges [lo, hi): the node's value is the midpoint, the left
+// child is [lo, mid) and the right child is [mid+1, hi).  The tree over
+// |V| = m values then has height exactly ceil(lg(m+1)) - 1 <= ceil(lg m)
+// (for m >= 2), matching the lg|V| height the 8*lg|V| termination bound of
+// Theorem 3 counts against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.hpp"
+
+namespace ccd {
+
+/// A cursor into the implicit BST.  Copyable, comparable; parent pointers
+/// are reconstructed from the root on demand (the path is O(height)).
+class ValueBstCursor {
+ public:
+  /// Cursor at the root of the tree over {0..num_values-1}.
+  explicit ValueBstCursor(std::uint64_t num_values);
+
+  /// val[curr]
+  Value value() const;
+
+  /// Does the left (resp. right) subtree exist and contain v?
+  bool left_contains(Value v) const;
+  bool right_contains(Value v) const;
+
+  bool has_left() const;
+  bool has_right() const;
+  bool is_root() const;
+  bool is_leaf() const { return !has_left() && !has_right(); }
+
+  /// Descend; precondition: the child exists.
+  void descend_left();
+  void descend_right();
+
+  /// Ascend to parent[curr]; at the root this is a no-op (the paper's
+  /// executions never ascend from the root because some correct process
+  /// always votes there, but we keep the operation total for safety).
+  void ascend();
+
+  /// Depth of the current node (root = 0).
+  std::uint32_t depth() const { return static_cast<std::uint32_t>(path_.size()); }
+
+  /// Height of the whole tree (edges on the longest root-leaf path).
+  std::uint32_t tree_height() const;
+
+  bool operator==(const ValueBstCursor&) const = default;
+
+ private:
+  struct Range {
+    std::uint64_t lo;
+    std::uint64_t hi;  // half-open
+    std::uint64_t mid() const { return lo + (hi - lo) / 2; }
+  };
+  Range current() const;
+
+  std::uint64_t num_values_;
+  // Path of left/right choices from the root; current range is derived.
+  std::vector<bool> path_;  // false = went left, true = went right
+};
+
+}  // namespace ccd

@@ -1,0 +1,180 @@
+#include "cd/detector_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccd {
+namespace {
+
+TEST(DetectorSpec, CompleteForcesOnAnyLoss) {
+  const auto spec = DetectorSpec::AC();
+  EXPECT_TRUE(spec.collision_forced(3, 2));
+  EXPECT_TRUE(spec.collision_forced(1, 0));
+  EXPECT_FALSE(spec.collision_forced(3, 3));
+  EXPECT_FALSE(spec.collision_forced(0, 0));
+}
+
+TEST(DetectorSpec, MajorityForcesWithoutStrictMajority) {
+  const auto spec = DetectorSpec::MajAC();
+  // c = 4: receiving 2 of 4 is NOT a strict majority -> forced.
+  EXPECT_TRUE(spec.collision_forced(4, 2));
+  EXPECT_TRUE(spec.collision_forced(4, 0));
+  // 3 of 4 is a strict majority -> not forced.
+  EXPECT_FALSE(spec.collision_forced(4, 3));
+  EXPECT_FALSE(spec.collision_forced(4, 4));
+  // c = 1: receiving it is a strict majority; losing it is not.
+  EXPECT_TRUE(spec.collision_forced(1, 0));
+  EXPECT_FALSE(spec.collision_forced(1, 1));
+}
+
+TEST(DetectorSpec, HalfVsMajorityDifferByExactlyOneMessage) {
+  // The single case separating the two properties (and, per Theorems 1 vs
+  // 6, constant-round from logarithmic consensus): receiving EXACTLY half.
+  const auto maj = DetectorSpec::MajAC();
+  const auto half = DetectorSpec::HalfAC();
+  for (std::uint32_t c = 2; c <= 40; c += 2) {
+    const std::uint32_t t = c / 2;
+    EXPECT_TRUE(maj.collision_forced(c, t)) << "c=" << c;
+    EXPECT_FALSE(half.collision_forced(c, t)) << "c=" << c;
+    // Everywhere below half they agree...
+    if (t > 0) {
+      EXPECT_TRUE(maj.collision_forced(c, t - 1));
+      EXPECT_TRUE(half.collision_forced(c, t - 1));
+    }
+    // ...and everywhere above they agree.
+    EXPECT_FALSE(maj.collision_forced(c, t + 1));
+    EXPECT_FALSE(half.collision_forced(c, t + 1));
+  }
+}
+
+TEST(DetectorSpec, ZeroForcesOnlyOnTotalLoss) {
+  const auto spec = DetectorSpec::ZeroAC();
+  EXPECT_TRUE(spec.collision_forced(3, 0));
+  EXPECT_TRUE(spec.collision_forced(1, 0));
+  EXPECT_FALSE(spec.collision_forced(3, 1));
+  EXPECT_FALSE(spec.collision_forced(0, 0));
+}
+
+TEST(DetectorSpec, AccuracyForcesNullOnCleanReception) {
+  const auto spec = DetectorSpec::ZeroAC();
+  EXPECT_TRUE(spec.null_forced(1, 3, 3));
+  EXPECT_TRUE(spec.null_forced(1, 0, 0));
+  EXPECT_FALSE(spec.null_forced(1, 3, 2));  // loss: accuracy says nothing
+}
+
+TEST(DetectorSpec, EventualAccuracyKicksInAtRacc) {
+  const auto spec = DetectorSpec::ZeroOAC(10);
+  EXPECT_FALSE(spec.null_forced(9, 2, 2));  // false positives still legal
+  EXPECT_TRUE(spec.null_forced(10, 2, 2));
+  EXPECT_TRUE(spec.null_forced(11, 2, 2));
+}
+
+TEST(DetectorSpec, NoCdAlwaysForcesCollision) {
+  const auto spec = DetectorSpec::NoCD();
+  EXPECT_TRUE(spec.collision_forced(0, 0));
+  EXPECT_TRUE(spec.collision_forced(5, 5));
+  EXPECT_FALSE(spec.null_forced(100, 5, 5));
+  EXPECT_FALSE(spec.advice_legal(1, 0, 0, CdAdvice::kNull));
+  EXPECT_TRUE(spec.advice_legal(1, 0, 0, CdAdvice::kCollision));
+}
+
+TEST(DetectorSpec, AdviceLegalityEnvelope) {
+  const auto spec = DetectorSpec::HalfOAC(5);
+  // Forced collision: t < c/2.
+  EXPECT_FALSE(spec.advice_legal(1, 4, 1, CdAdvice::kNull));
+  EXPECT_TRUE(spec.advice_legal(1, 4, 1, CdAdvice::kCollision));
+  // Free region before r_acc: exactly half, or clean reception.
+  EXPECT_TRUE(spec.advice_legal(1, 4, 2, CdAdvice::kNull));
+  EXPECT_TRUE(spec.advice_legal(1, 4, 2, CdAdvice::kCollision));
+  EXPECT_TRUE(spec.advice_legal(4, 4, 4, CdAdvice::kCollision));
+  // After r_acc clean reception forces null.
+  EXPECT_FALSE(spec.advice_legal(5, 4, 4, CdAdvice::kCollision));
+  EXPECT_TRUE(spec.advice_legal(5, 4, 4, CdAdvice::kNull));
+  // Exactly half is still free after r_acc (loss happened).
+  EXPECT_TRUE(spec.advice_legal(9, 4, 2, CdAdvice::kCollision));
+}
+
+TEST(DetectorSpec, Figure1Lattice) {
+  const Round r = 7;
+  const std::vector<DetectorSpec> accurate = {
+      DetectorSpec::AC(), DetectorSpec::MajAC(), DetectorSpec::HalfAC(),
+      DetectorSpec::ZeroAC()};
+  const std::vector<DetectorSpec> eventual = {
+      DetectorSpec::OAC(r), DetectorSpec::MajOAC(r), DetectorSpec::HalfOAC(r),
+      DetectorSpec::ZeroOAC(r)};
+  // Completeness weakens left to right within each row.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i; j < 4; ++j) {
+      EXPECT_TRUE(accurate[i].subclass_of(accurate[j]));
+      EXPECT_TRUE(eventual[i].subclass_of(eventual[j]));
+      if (i != j) {
+        EXPECT_FALSE(accurate[j].subclass_of(accurate[i]));
+        EXPECT_FALSE(eventual[j].subclass_of(eventual[i]));
+      }
+    }
+  }
+  // Accurate row is contained in the eventually-accurate row.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(accurate[i].subclass_of(eventual[i]));
+    EXPECT_FALSE(eventual[i].subclass_of(accurate[i]));
+  }
+  // The paper's Section 7.1 remark: AC, <>AC, maj-AC all within maj-<>AC.
+  EXPECT_TRUE(DetectorSpec::AC().subclass_of(DetectorSpec::MajOAC(r)));
+  EXPECT_TRUE(DetectorSpec::OAC(r).subclass_of(DetectorSpec::MajOAC(r)));
+  EXPECT_TRUE(DetectorSpec::MajAC().subclass_of(DetectorSpec::MajOAC(r)));
+  // And every class we use sits inside 0-<>AC (Section 7.2 remark).
+  for (const auto& s : accurate) {
+    EXPECT_TRUE(s.subclass_of(DetectorSpec::ZeroOAC(r)));
+  }
+  for (const auto& s : eventual) {
+    EXPECT_TRUE(s.subclass_of(DetectorSpec::ZeroOAC(r)));
+  }
+}
+
+TEST(DetectorSpec, Lemma1NoCdSubsetOfNoAcc) {
+  EXPECT_TRUE(DetectorSpec::NoCD().subclass_of(DetectorSpec::NoAcc()));
+  EXPECT_FALSE(DetectorSpec::NoAcc().subclass_of(DetectorSpec::NoCD()));
+  // NoCD violates both accuracy properties.
+  EXPECT_FALSE(DetectorSpec::NoCD().subclass_of(DetectorSpec::ZeroAC()));
+  EXPECT_FALSE(DetectorSpec::NoCD().subclass_of(DetectorSpec::ZeroOAC(3)));
+}
+
+TEST(DetectorSpec, ClassNames) {
+  EXPECT_EQ(DetectorSpec::AC().class_name(), "AC");
+  EXPECT_EQ(DetectorSpec::MajAC().class_name(), "maj-AC");
+  EXPECT_EQ(DetectorSpec::HalfOAC(2).class_name(), "half-<>AC");
+  EXPECT_EQ(DetectorSpec::ZeroOAC(2).class_name(), "0-<>AC");
+  EXPECT_EQ(DetectorSpec::NoCD().class_name(), "NoCD");
+  EXPECT_EQ(DetectorSpec::NoAcc().class_name(), "NoACC");
+}
+
+// Property sweep: completeness monotonicity -- a stronger spec forces a
+// report whenever a weaker one does.
+class CompletenessOrder
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompletenessOrder, StrongerForcesWheneverWeakerDoes) {
+  const auto [ci, ti] = GetParam();
+  const auto c = static_cast<std::uint32_t>(ci);
+  const auto t = static_cast<std::uint32_t>(ti);
+  if (t > c) return;  // invalid transmission data
+  const DetectorSpec order[] = {DetectorSpec::AC(), DetectorSpec::MajAC(),
+                                DetectorSpec::HalfAC(),
+                                DetectorSpec::ZeroAC()};
+  for (int s = 0; s < 3; ++s) {
+    if (order[s + 1].collision_forced(c, t)) {
+      EXPECT_TRUE(order[s].collision_forced(c, t))
+          << order[s].class_name() << " should force when "
+          << order[s + 1].class_name() << " does (c=" << c << ",t=" << t
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCounts, CompletenessOrder,
+                         ::testing::Combine(::testing::Range(0, 12),
+                                            ::testing::Range(0, 12)));
+
+}  // namespace
+}  // namespace ccd

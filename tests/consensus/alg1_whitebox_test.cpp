@@ -1,0 +1,132 @@
+// White-box tests driving Alg1Process directly through its proposal/veto
+// phase machine (pseudocode of Algorithm 1, Section 7.1).
+#include <gtest/gtest.h>
+
+#include "consensus/alg1_maj_oac.hpp"
+
+namespace ccd {
+namespace {
+
+constexpr auto kActive = CmAdvice::kActive;
+constexpr auto kPassive = CmAdvice::kPassive;
+constexpr auto kNull = CdAdvice::kNull;
+constexpr auto kColl = CdAdvice::kCollision;
+
+Message est(Value v) { return {Message::Kind::kEstimate, v, 0}; }
+Message veto() { return {Message::Kind::kVeto, 0, 0}; }
+
+TEST(Alg1Whitebox, ProposalBroadcastsOnlyWhenActive) {
+  Alg1Process p(5);
+  EXPECT_FALSE(p.on_send(1, kPassive).has_value());
+  Alg1Process q(5);
+  const auto msg = q.on_send(1, kActive);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, Message::Kind::kEstimate);
+  EXPECT_EQ(msg->value, 5u);
+}
+
+TEST(Alg1Whitebox, AdoptsMinimumOnCleanProposal) {
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4), est(7)};
+  p.on_receive(1, recv, kNull, kPassive);
+  EXPECT_EQ(p.estimate(), 4u);
+}
+
+TEST(Alg1Whitebox, KeepsEstimateOnCollision) {
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4)};
+  p.on_receive(1, recv, kColl, kPassive);
+  EXPECT_EQ(p.estimate(), 9u);  // line 10's guard
+}
+
+TEST(Alg1Whitebox, VetoesAfterCollision) {
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4)};
+  p.on_receive(1, recv, kColl, kPassive);
+  const auto msg = p.on_send(2, kPassive);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, Message::Kind::kVeto);
+}
+
+TEST(Alg1Whitebox, VetoesAfterMultipleDistinctValues) {
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4), est(7)};
+  p.on_receive(1, recv, kNull, kPassive);
+  EXPECT_TRUE(p.on_send(2, kPassive).has_value());
+}
+
+TEST(Alg1Whitebox, DuplicateValuesAreOneUniqueValue) {
+  // SET(recv): two copies of the same estimate are a single value, so no
+  // complaint (multiset->set semantics of line 8).
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4), est(4), est(4)};
+  p.on_receive(1, recv, kNull, kPassive);
+  EXPECT_FALSE(p.on_send(2, kPassive).has_value());
+}
+
+TEST(Alg1Whitebox, DecidesAfterSilentVetoRound) {
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4)};
+  p.on_receive(1, recv, kNull, kPassive);   // clean single value
+  EXPECT_FALSE(p.on_send(2, kPassive).has_value());
+  p.on_receive(2, {}, kNull, kPassive);     // silent veto round
+  ASSERT_TRUE(p.decided());
+  EXPECT_EQ(p.decision(), 4u);
+  EXPECT_TRUE(p.halted());
+}
+
+TEST(Alg1Whitebox, VetoMessageBlocksDecision) {
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4)};
+  p.on_receive(1, recv, kNull, kPassive);
+  std::vector<Message> vr = {veto()};
+  p.on_receive(2, vr, kNull, kPassive);
+  EXPECT_FALSE(p.decided());
+}
+
+TEST(Alg1Whitebox, CollisionInVetoRoundBlocksDecision) {
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4)};
+  p.on_receive(1, recv, kNull, kPassive);
+  p.on_receive(2, {}, kColl, kPassive);
+  EXPECT_FALSE(p.decided());
+}
+
+TEST(Alg1Whitebox, NoDecisionWithoutAnyProposal) {
+  // |messages| = 0 in the proposal round: the decide guard (line 18)
+  // requires exactly one unique value.
+  Alg1Process p(9);
+  p.on_receive(1, {}, kNull, kPassive);
+  p.on_receive(2, {}, kNull, kPassive);
+  EXPECT_FALSE(p.decided());
+}
+
+TEST(Alg1Whitebox, OwnVetoPreventsOwnDecision) {
+  // A process that complains hears its own veto (model: self-delivery),
+  // so it can never decide in the same cycle it vetoed.
+  Alg1Process p(9);
+  std::vector<Message> recv = {est(4), est(7)};
+  p.on_receive(1, recv, kNull, kPassive);
+  const auto v = p.on_send(2, kPassive);
+  ASSERT_TRUE(v.has_value());
+  std::vector<Message> vr = {*v};
+  p.on_receive(2, vr, kNull, kPassive);
+  EXPECT_FALSE(p.decided());
+  // Next cycle is a fresh proposal phase.
+  EXPECT_FALSE(p.on_send(3, kPassive).has_value());
+}
+
+TEST(Alg1Whitebox, CyclesForeverUnderPermanentVetoes) {
+  Alg1Process p(9);
+  for (Round r = 1; r <= 100; r += 2) {
+    std::vector<Message> recv = {est(4)};
+    p.on_receive(r, recv, kNull, kPassive);
+    std::vector<Message> vr = {veto()};
+    p.on_receive(r + 1, vr, kNull, kPassive);
+  }
+  EXPECT_FALSE(p.decided());
+  EXPECT_EQ(p.estimate(), 4u);  // estimate stable once adopted
+}
+
+}  // namespace
+}  // namespace ccd

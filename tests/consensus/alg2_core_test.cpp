@@ -1,0 +1,158 @@
+// White-box tests for Alg2Core: the prepare/propose/accept phase machine
+// that both Algorithm 2 and the Section 7.3 election embed.
+#include <gtest/gtest.h>
+
+#include "consensus/alg2_zero_oac.hpp"
+
+namespace ccd {
+namespace {
+
+constexpr auto kActive = CmAdvice::kActive;
+constexpr auto kPassive = CmAdvice::kPassive;
+constexpr auto kNull = CdAdvice::kNull;
+constexpr auto kColl = CdAdvice::kCollision;
+
+std::vector<Message> no_messages() { return {}; }
+
+TEST(Alg2Core, PrepareBroadcastsEstimateWhenActive) {
+  Alg2Core core(16, 9);
+  const auto msg = core.step_send(kActive);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, Message::Kind::kEstimate);
+  EXPECT_EQ(msg->value, 9u);
+}
+
+TEST(Alg2Core, PrepareSilentWhenPassiveOrMuted) {
+  Alg2Core a(16, 9), b(16, 9);
+  EXPECT_FALSE(a.step_send(kPassive).has_value());
+  EXPECT_FALSE(b.step_send(kActive, /*muted=*/true).has_value());
+}
+
+TEST(Alg2Core, PrepareAdoptsMinimumReceived) {
+  Alg2Core core(16, 9);
+  core.step_send(kPassive);
+  std::vector<Message> recv = {{Message::Kind::kEstimate, 12, 0},
+                               {Message::Kind::kEstimate, 4, 0}};
+  core.step_receive(recv, kNull);
+  EXPECT_EQ(core.estimate(), 4u);
+}
+
+TEST(Alg2Core, PrepareIgnoresReceivedOnCollision) {
+  Alg2Core core(16, 9);
+  core.step_send(kPassive);
+  std::vector<Message> recv = {{Message::Kind::kEstimate, 4, 0}};
+  core.step_receive(recv, kColl);
+  EXPECT_EQ(core.estimate(), 9u);  // line 11's guard
+}
+
+TEST(Alg2Core, ProposeBroadcastsExactlyOnOneBits) {
+  // estimate 0b1010 over |V| = 16: broadcast in propose rounds 1 and 3.
+  Alg2Core core(16, 0b1010);
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kNull);  // through prepare
+  std::vector<bool> pattern;
+  for (int bit = 1; bit <= 4; ++bit) {
+    pattern.push_back(core.step_send(kPassive).has_value());
+    core.step_receive(no_messages(), kNull);
+  }
+  EXPECT_EQ(pattern, (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(Alg2Core, HearingOnZeroBitClearsDecideFlag) {
+  Alg2Core core(4, 0b00);  // both bits zero: always listening
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kNull);  // prepare (nothing heard)
+  core.step_send(kPassive);
+  std::vector<Message> veto = {{Message::Kind::kVeto, 0, 0}};
+  core.step_receive(veto, kNull);  // propose bit 1: heard someone
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kNull);  // propose bit 2
+  // Accept: decide flag cleared => broadcasts a veto.
+  EXPECT_TRUE(core.step_send(kPassive).has_value());
+  core.step_receive(veto, kNull);  // hears own veto: no decision
+  EXPECT_FALSE(core.decided());
+}
+
+TEST(Alg2Core, CollisionOnZeroBitAlsoClears) {
+  Alg2Core core(4, 0b00);
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kNull);
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kColl);  // collision counts as hearing
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kNull);
+  EXPECT_TRUE(core.step_send(kPassive).has_value());  // veto in accept
+}
+
+TEST(Alg2Core, CleanCycleDecides) {
+  Alg2Core core(4, 0b10);
+  // prepare: hears own broadcast.
+  auto m = core.step_send(kActive);
+  ASSERT_TRUE(m.has_value());
+  std::vector<Message> own = {*m};
+  core.step_receive(own, kNull);
+  // propose bit 1 (one): broadcasts, hears itself -- fine, it's a 1 bit.
+  m = core.step_send(kPassive);
+  ASSERT_TRUE(m.has_value());
+  own = {*m};
+  core.step_receive(own, kNull);
+  // propose bit 2 (zero): silence.
+  EXPECT_FALSE(core.step_send(kPassive).has_value());
+  core.step_receive(no_messages(), kNull);
+  // accept: no veto, silence, decide.
+  EXPECT_FALSE(core.step_send(kPassive).has_value());
+  core.step_receive(no_messages(), kNull);
+  ASSERT_TRUE(core.decided());
+  EXPECT_EQ(core.decision(), 0b10u);
+}
+
+TEST(Alg2Core, CollisionInAcceptBlocksDecision) {
+  Alg2Core core(4, 0b10);
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kNull);
+  for (int bit = 0; bit < 2; ++bit) {
+    core.step_send(kPassive);
+    core.step_receive(no_messages(), kNull);
+  }
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kColl);  // accept with spurious +-
+  EXPECT_FALSE(core.decided());
+  // Next round is prepare again: cycle restarted.
+  EXPECT_TRUE(core.in_prepare());
+}
+
+TEST(Alg2Core, ResetRestartsCleanly) {
+  Alg2Core core(16, 3);
+  core.step_send(kActive);
+  std::vector<Message> recv = {{Message::Kind::kEstimate, 1, 0}};
+  core.step_receive(recv, kNull);
+  EXPECT_FALSE(core.in_prepare());
+  core.reset(14);
+  EXPECT_TRUE(core.in_prepare());
+  EXPECT_EQ(core.estimate(), 14u);
+  EXPECT_FALSE(core.decided());
+}
+
+TEST(Alg2Core, TaggedMessagesCarryTag) {
+  Alg2Core core(16, 3, Message::Kind::kEstimate, /*tag=*/42);
+  const auto msg = core.step_send(kActive);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, 42u);
+}
+
+TEST(Alg2Core, SingletonValueSpaceStillCycles) {
+  Alg2Core core(1, 0);
+  core.step_send(kActive);
+  std::vector<Message> own = {{Message::Kind::kEstimate, 0, 0}};
+  core.step_receive(own, kNull);
+  // width forced to 1: one propose round (bit of 0 is 0, silent).
+  EXPECT_FALSE(core.step_send(kPassive).has_value());
+  core.step_receive(no_messages(), kNull);
+  core.step_send(kPassive);
+  core.step_receive(no_messages(), kNull);  // accept
+  EXPECT_TRUE(core.decided());
+  EXPECT_EQ(core.decision(), 0u);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,202 @@
+// Algorithm 2 (0-<>AC, WS, ECF): Theorem 2 says consensus is solved and
+// every correct process decides by CST + 2*(ceil(lg|V|) + 1).
+#include <gtest/gtest.h>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/backoff_cm.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "lowerbound/composition.hpp"
+#include "net/ecf_adversary.hpp"
+#include "util/bitcodec.hpp"
+
+namespace ccd {
+namespace {
+
+struct Alg2Params {
+  std::size_t n;
+  std::uint64_t num_values;
+  Round cst_target;
+  std::uint64_t seed;
+};
+
+class Alg2Sweep : public ::testing::TestWithParam<Alg2Params> {};
+
+TEST_P(Alg2Sweep, DecidesWithinTheoremTwoBound) {
+  const Alg2Params p = GetParam();
+  Alg2Algorithm alg(p.num_values);
+
+  WakeupService::Options ws;
+  ws.r_wake = p.cst_target;
+  ws.pre = WakeupService::PreStabilization::kRandomSubset;
+  ws.seed = p.seed;
+
+  EcfAdversary::Options ecf;
+  ecf.r_cf = p.cst_target;
+  ecf.pre = EcfAdversary::PreMode::kRandom;
+  ecf.contention = EcfAdversary::ContentionMode::kCapture;
+  ecf.p_deliver = 0.5;
+  ecf.seed = p.seed + 1;
+
+  World world = make_world(
+      alg, random_initial_values(p.n, p.num_values, p.seed + 2),
+      std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(
+          DetectorSpec::ZeroOAC(p.cst_target),
+          std::make_unique<SpuriousPolicy>(0.3, p.cst_target, p.seed + 3)),
+      std::make_unique<EcfAdversary>(ecf), std::make_unique<NoFailures>());
+
+  const Round bound = Alg2Algorithm::round_bound_after_cst(p.num_values);
+  const RunSummary summary =
+      run_consensus(std::move(world), p.cst_target + 4 * bound + 20);
+  EXPECT_TRUE(summary.verdict.solved());
+  EXPECT_LE(summary.rounds_after_cst, bound)
+      << "Theorem 2 bound violated: |V|=" << p.num_values
+      << " CST=" << summary.cst;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Alg2Sweep,
+    ::testing::Values(Alg2Params{2, 2, 1, 21}, Alg2Params{4, 2, 10, 22},
+                      Alg2Params{4, 16, 1, 23}, Alg2Params{8, 16, 13, 24},
+                      Alg2Params{8, 256, 7, 25},
+                      Alg2Params{16, 1u << 12, 9, 26},
+                      Alg2Params{32, 1u << 20, 15, 27},
+                      Alg2Params{3, 5, 30, 28}, Alg2Params{6, 1000, 2, 29},
+                      Alg2Params{12, 33, 21, 30}));
+
+TEST(Alg2, WorksWithWeakestDetectorInItsClass) {
+  // 0-<>AC with a prefer-null policy: the detector reports ONLY what zero
+  // completeness forces.  Algorithm 2 is designed for exactly this.
+  Alg2Algorithm alg(64);
+  WakeupService::Options ws;
+  ws.r_wake = 8;
+  EcfAdversary::Options ecf;
+  ecf.r_cf = 8;
+  ecf.seed = 5;
+  World world = make_world(
+      alg, random_initial_values(8, 64, 5),
+      std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroOAC(8),
+                                       make_prefer_null_policy()),
+      std::make_unique<EcfAdversary>(ecf), std::make_unique<NoFailures>());
+  const RunSummary summary = run_consensus(std::move(world), 300);
+  EXPECT_TRUE(summary.verdict.solved());
+  EXPECT_LE(summary.rounds_after_cst,
+            Alg2Algorithm::round_bound_after_cst(64));
+}
+
+TEST(Alg2, WorksWithFlakyMajorityDetector) {
+  // The practically-measured detector of Section 1.3: always zero
+  // complete, majority complete "most of the time".  That extra (legal)
+  // information can only help.
+  Alg2Algorithm alg(128);
+  WakeupService::Options ws;
+  ws.r_wake = 6;
+  EcfAdversary::Options ecf;
+  ecf.r_cf = 6;
+  ecf.seed = 6;
+  World world = make_world(
+      alg, random_initial_values(10, 128, 6),
+      std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(
+          DetectorSpec::ZeroOAC(6),
+          std::make_unique<FlakyMajorityPolicy>(0.9, 7)),
+      std::make_unique<EcfAdversary>(ecf), std::make_unique<NoFailures>());
+  const RunSummary summary = run_consensus(std::move(world), 300);
+  EXPECT_TRUE(summary.verdict.solved());
+}
+
+TEST(Alg2, ToleratesCrashesIncludingActiveProcess) {
+  Alg2Algorithm alg(32);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    WakeupService::Options ws;
+    ws.r_wake = 20;
+    EcfAdversary::Options ecf;
+    ecf.r_cf = 20;
+    ecf.seed = seed;
+    RandomCrash::Options crash;
+    crash.p = 0.04;
+    crash.stop_after = 18;
+    crash.seed = seed * 13;
+    World world = make_world(
+        alg, random_initial_values(9, 32, seed),
+        std::make_unique<WakeupService>(ws),
+        std::make_unique<OracleDetector>(DetectorSpec::ZeroOAC(20),
+                                         make_truthful_policy()),
+        std::make_unique<EcfAdversary>(ecf),
+        std::make_unique<RandomCrash>(crash));
+    const RunSummary summary = run_consensus(std::move(world), 400);
+    EXPECT_TRUE(summary.verdict.agreement) << "seed " << seed;
+    EXPECT_TRUE(summary.verdict.strong_validity) << "seed " << seed;
+    EXPECT_TRUE(summary.verdict.termination) << "seed " << seed;
+  }
+}
+
+TEST(Alg2, RunsOverConcreteBackoffContentionManager) {
+  // Replace the abstract wake-up service with the concrete randomized
+  // backoff protocol: safety is unconditional, liveness emerges once the
+  // backoff locks onto a single broadcaster.
+  Alg2Algorithm alg(64);
+  EcfAdversary::Options ecf;
+  ecf.r_cf = 1;
+  ecf.seed = 8;
+  World world = make_world(
+      alg, random_initial_values(12, 64, 8),
+      std::make_unique<BackoffCm>(BackoffCm::Options{.seed = 8}),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroOAC(1),
+                                       make_truthful_policy()),
+      std::make_unique<EcfAdversary>(ecf), std::make_unique<NoFailures>());
+  const RunSummary summary = run_consensus(std::move(world), 2000);
+  EXPECT_TRUE(summary.verdict.agreement);
+  EXPECT_TRUE(summary.verdict.termination);
+}
+
+TEST(Alg2, StaysSafeUnderHalfAcPartition) {
+  // Under the Lemma 23 composition adversary Algorithm 2 must NOT decide
+  // during the partition -- deciding would violate agreement, as the
+  // theorem's indistinguishability argument shows.  Its bit-broadcast
+  // pattern detects the other group through the zero-complete reports.
+  Alg2Algorithm alg(16);
+  CompositionConfig config;
+  config.group_size = 4;
+  config.value_a = 3;
+  config.value_b = 12;
+  config.k = 30;
+  config.spec = DetectorSpec::HalfAC();
+  config.max_rounds = 300;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.summary.verdict.agreement);
+  EXPECT_TRUE(outcome.summary.verdict.termination);
+  EXPECT_GT(outcome.summary.verdict.first_decision_round, config.k)
+      << "no decision may precede the heal";
+}
+
+TEST(Alg2, BoundScalesLogarithmically) {
+  // Doubling |V| adds 2 rounds to the bound: 2*(lg|V|+1).
+  EXPECT_EQ(Alg2Algorithm::round_bound_after_cst(2), 4u);
+  EXPECT_EQ(Alg2Algorithm::round_bound_after_cst(4), 6u);
+  EXPECT_EQ(Alg2Algorithm::round_bound_after_cst(1024), 22u);
+  EXPECT_EQ(Alg2Algorithm::round_bound_after_cst(1u << 20), 42u);
+}
+
+TEST(Alg2, SingleProcessDecidesAlone) {
+  Alg2Algorithm alg(8);
+  WakeupService::Options ws;
+  ws.r_wake = 1;
+  EcfAdversary::Options ecf;
+  ecf.r_cf = 1;
+  World world = make_world(
+      alg, {5}, std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroOAC(1),
+                                       make_truthful_policy()),
+      std::make_unique<EcfAdversary>(ecf), std::make_unique<NoFailures>());
+  const RunSummary summary = run_consensus(std::move(world), 100);
+  ASSERT_TRUE(summary.verdict.solved());
+  EXPECT_EQ(summary.verdict.decided_values[0], 5u);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,88 @@
+#include "consensus/checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccd {
+namespace {
+
+ExecutionLog log_with(std::size_t n, std::vector<DecisionRecord> decisions,
+                      std::vector<CrashRecord> crashes = {}) {
+  ExecutionLog log(n, /*record_views=*/false);
+  for (const auto& d : decisions) log.record_decision(d.process, d.round, d.value);
+  for (const auto& c : crashes) log.record_crash(c.process, c.round);
+  return log;
+}
+
+TEST(Checker, SolvedWhenAllAgree) {
+  auto log = log_with(3, {{0, 4, 7}, {1, 4, 7}, {2, 5, 7}});
+  const auto verdict = check_consensus(log, {7, 9, 7});
+  EXPECT_TRUE(verdict.solved());
+  EXPECT_EQ(verdict.first_decision_round, 4u);
+  EXPECT_EQ(verdict.last_decision_round, 5u);
+}
+
+TEST(Checker, AgreementViolationDetected) {
+  auto log = log_with(2, {{0, 1, 3}, {1, 1, 4}});
+  const auto verdict = check_consensus(log, {3, 4});
+  EXPECT_FALSE(verdict.agreement);
+  EXPECT_FALSE(verdict.solved());
+  EXPECT_EQ(verdict.decided_values.size(), 2u);
+}
+
+TEST(Checker, StrongValidityViolationDetected) {
+  auto log = log_with(2, {{0, 1, 99}, {1, 1, 99}});
+  const auto verdict = check_consensus(log, {3, 4});
+  EXPECT_TRUE(verdict.agreement);
+  EXPECT_FALSE(verdict.strong_validity);
+}
+
+TEST(Checker, UniformValidityOnlyBindsWhenAllEqual) {
+  // All start with 5 but decide 6 (some process's value... no, 6 is not
+  // any initial value here, but uniform validity is the property that
+  // fires first).
+  auto log = log_with(2, {{0, 1, 6}, {1, 1, 6}});
+  const auto verdict = check_consensus(log, {5, 5});
+  EXPECT_FALSE(verdict.uniform_validity);
+  // Mixed initial values: uniform validity is vacuous.
+  const auto verdict2 = check_consensus(log, {5, 6});
+  EXPECT_TRUE(verdict2.uniform_validity);
+}
+
+TEST(Checker, TerminationIgnoresCrashedProcesses) {
+  auto log = log_with(3, {{0, 2, 1}, {2, 3, 1}}, {{1, 1}});
+  const auto verdict = check_consensus(log, {1, 1, 1});
+  EXPECT_TRUE(verdict.termination);  // process 1 crashed; others decided
+}
+
+TEST(Checker, MissingCorrectDecisionFailsTermination) {
+  auto log = log_with(3, {{0, 2, 1}});
+  const auto verdict = check_consensus(log, {1, 1, 1});
+  EXPECT_FALSE(verdict.termination);
+  EXPECT_FALSE(verdict.solved());
+}
+
+TEST(Checker, CrashedDeciderStillCountsForAgreement) {
+  // A process that decided v then crashed binds all later decisions.
+  auto log = log_with(2, {{0, 1, 3}, {1, 9, 4}}, {{0, 2}});
+  const auto verdict = check_consensus(log, {3, 4});
+  EXPECT_FALSE(verdict.agreement);
+}
+
+TEST(Checker, LastDecisionRoundExcludesCrashedDeciders) {
+  auto log = log_with(2, {{0, 8, 3}, {1, 2, 3}}, {{0, 9}});
+  const auto verdict = check_consensus(log, {3, 3});
+  // Process 0 decided at 8 but later crashed; the bound tracked for the
+  // theorems is over correct processes.
+  EXPECT_EQ(verdict.last_decision_round, 2u);
+}
+
+TEST(Checker, NoDecisionsAtAll) {
+  auto log = log_with(2, {});
+  const auto verdict = check_consensus(log, {1, 2});
+  EXPECT_TRUE(verdict.agreement);  // vacuously
+  EXPECT_FALSE(verdict.termination);
+  EXPECT_TRUE(verdict.decided_values.empty());
+}
+
+}  // namespace
+}  // namespace ccd

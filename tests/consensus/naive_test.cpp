@@ -1,0 +1,82 @@
+// The naive no-detector protocol: behaviourally correct in friendly
+// conditions, provably breakable -- the Theorem 4 foil.
+#include <gtest/gtest.h>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/harness.hpp"
+#include "consensus/naive_no_cd.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/no_loss.hpp"
+#include "net/partition_adversary.hpp"
+
+namespace ccd {
+namespace {
+
+TEST(NaiveNoCd, WorksOnAPerfectChannel) {
+  NaiveNoCdAlgorithm alg(/*patience=*/50);
+  WakeupService::Options ws;
+  ws.r_wake = 1;
+  World world = make_world(
+      alg, {4, 9, 9}, std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::NoCD(),
+                                       make_prefer_null_policy()),
+      std::make_unique<NoLoss>(), std::make_unique<NoFailures>());
+  const RunSummary s = run_consensus(std::move(world), 100);
+  EXPECT_TRUE(s.verdict.solved());
+  // Everyone decides the leader's (process 0's) value.
+  EXPECT_EQ(s.verdict.decided_values[0], 4u);
+}
+
+TEST(NaiveNoCd, TimesOutToOwnValueInIsolation) {
+  NaiveNoCdAlgorithm alg(/*patience=*/10);
+  WakeupService::Options ws;
+  ws.r_wake = 1;
+  ws.pre = WakeupService::PreStabilization::kAllPassive;
+  // Partition that never heals and never delivers: patience expires.
+  World world = make_world(
+      alg, {4, 9}, std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::NoCD(),
+                                       make_prefer_null_policy()),
+      std::make_unique<PartitionAdversary>(
+          PartitionAdversary::Options{1, kNeverRound}),
+      std::make_unique<NoFailures>());
+  const RunSummary s = run_consensus(std::move(world), 100);
+  // Both decide... their own values: agreement violated.  This is the
+  // forced trade-off of Theorem 4: without detection, a timeout is the
+  // only way to terminate, and timeouts guess wrong.
+  EXPECT_TRUE(s.verdict.termination);
+  EXPECT_FALSE(s.verdict.agreement);
+}
+
+TEST(NaiveNoCd, UniformValidityHolds) {
+  NaiveNoCdAlgorithm alg(5);
+  WakeupService::Options ws;
+  World world = make_world(
+      alg, {6, 6, 6, 6}, std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::NoCD(),
+                                       make_prefer_null_policy()),
+      std::make_unique<NoLoss>(), std::make_unique<NoFailures>());
+  const RunSummary s = run_consensus(std::move(world), 100);
+  ASSERT_TRUE(s.verdict.termination);
+  EXPECT_TRUE(s.verdict.uniform_validity);
+  EXPECT_EQ(s.verdict.decided_values[0], 6u);
+}
+
+TEST(NaiveNoCd, DecidesMinimumOfSimultaneousProposals) {
+  NaiveNoCdAlgorithm alg(50);
+  WakeupService::Options ws;
+  ws.r_wake = 100;  // never stabilizes within the run: everyone active
+  World world = make_world(
+      alg, {8, 3, 5}, std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(DetectorSpec::NoCD(),
+                                       make_prefer_null_policy()),
+      std::make_unique<NoLoss>(), std::make_unique<NoFailures>());
+  const RunSummary s = run_consensus(std::move(world), 100);
+  ASSERT_TRUE(s.verdict.termination);
+  ASSERT_EQ(s.verdict.decided_values.size(), 1u);
+  EXPECT_EQ(s.verdict.decided_values[0], 3u);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,260 @@
+// Cross-cutting property sweeps: SAFETY (agreement + strong validity) must
+// hold for every algorithm under EVERY legal combination of detector
+// policy, loss adversary, contention schedule, crash schedule and seed --
+// even combinations under which liveness is forfeited.  This is the
+// paper's safety/liveness separation (Section 1.3): the contention manager
+// and the stabilization assumptions are liveness-only.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/backoff_cm.hpp"
+#include "cm/no_cm.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/alg4_non_anonymous.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/capture_effect.hpp"
+#include "net/ecf_adversary.hpp"
+#include "net/probabilistic_loss.hpp"
+#include "net/unrestricted_loss.hpp"
+
+namespace ccd {
+namespace {
+
+constexpr std::uint64_t kNumValues = 64;
+
+enum class AlgKind { kAlg1, kAlg2, kAlg4 };
+enum class LossKind { kEcfCapture, kEcfRandom, kCaptureEffect, kProbabilistic };
+enum class PolicyKind { kTruthful, kPreferNull, kPreferCollision, kSpurious,
+                        kRandomLegal };
+
+struct SafetyParams {
+  AlgKind alg;
+  LossKind loss;
+  PolicyKind policy;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<ConsensusAlgorithm> make_algorithm(AlgKind kind) {
+  switch (kind) {
+    case AlgKind::kAlg1:
+      return std::make_unique<Alg1Algorithm>();
+    case AlgKind::kAlg2:
+      return std::make_unique<Alg2Algorithm>(kNumValues);
+    case AlgKind::kAlg4:
+      return std::make_unique<Alg4Algorithm>(kNumValues, 1 << 10);
+  }
+  return nullptr;
+}
+
+// Each algorithm is exercised against the weakest detector CLASS its
+// theorem admits; policies then roam that class's envelope.
+DetectorSpec spec_for(AlgKind kind, Round r_acc) {
+  switch (kind) {
+    case AlgKind::kAlg1:
+      return DetectorSpec::MajOAC(r_acc);
+    case AlgKind::kAlg2:
+    case AlgKind::kAlg4:
+      return DetectorSpec::ZeroOAC(r_acc);
+  }
+  return DetectorSpec::AC();
+}
+
+std::unique_ptr<AdvicePolicy> make_policy(PolicyKind kind, Round r_acc,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kTruthful:
+      return make_truthful_policy();
+    case PolicyKind::kPreferNull:
+      return make_prefer_null_policy();
+    case PolicyKind::kPreferCollision:
+      return make_prefer_collision_policy();
+    case PolicyKind::kSpurious:
+      return std::make_unique<SpuriousPolicy>(0.5, r_acc, seed);
+    case PolicyKind::kRandomLegal:
+      return std::make_unique<RandomLegalPolicy>(seed);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<LossAdversary> make_loss(LossKind kind, Round r_cf,
+                                         std::uint64_t seed) {
+  switch (kind) {
+    case LossKind::kEcfCapture: {
+      EcfAdversary::Options o;
+      o.r_cf = r_cf;
+      o.pre = EcfAdversary::PreMode::kCapture;
+      o.contention = EcfAdversary::ContentionMode::kCapture;
+      o.seed = seed;
+      return std::make_unique<EcfAdversary>(o);
+    }
+    case LossKind::kEcfRandom: {
+      EcfAdversary::Options o;
+      o.r_cf = r_cf;
+      o.pre = EcfAdversary::PreMode::kRandom;
+      o.contention = EcfAdversary::ContentionMode::kRandom;
+      o.p_deliver = 0.4;
+      o.seed = seed;
+      return std::make_unique<EcfAdversary>(o);
+    }
+    case LossKind::kCaptureEffect: {
+      CaptureEffectLoss::Options o;
+      o.r_cf = r_cf;
+      o.seed = seed;
+      return std::make_unique<CaptureEffectLoss>(o);
+    }
+    case LossKind::kProbabilistic: {
+      ProbabilisticLoss::Options o;
+      o.p_deliver = 0.5;
+      o.r_cf = r_cf;
+      o.seed = seed;
+      return std::make_unique<ProbabilisticLoss>(o);
+    }
+  }
+  return nullptr;
+}
+
+class SafetySweep : public ::testing::TestWithParam<SafetyParams> {};
+
+TEST_P(SafetySweep, SafetyHoldsAndEcfRunsTerminate) {
+  const SafetyParams p = GetParam();
+  const Round stabilize = 25;
+  auto algorithm = make_algorithm(p.alg);
+
+  WakeupService::Options ws;
+  ws.r_wake = stabilize;
+  ws.pre = WakeupService::PreStabilization::kRandomSubset;
+  ws.seed = p.seed;
+
+  RandomCrash::Options crash;
+  crash.p = 0.01;
+  crash.stop_after = stabilize - 2;
+  crash.seed = p.seed * 17;
+
+  World world = make_world(
+      *algorithm, random_initial_values(8, kNumValues, p.seed),
+      std::make_unique<WakeupService>(ws),
+      std::make_unique<OracleDetector>(
+          spec_for(p.alg, stabilize),
+          make_policy(p.policy, stabilize, p.seed * 29)),
+      make_loss(p.loss, stabilize, p.seed * 31),
+      std::make_unique<RandomCrash>(crash));
+
+  const RunSummary summary = run_consensus(std::move(world), 3000);
+  EXPECT_TRUE(summary.verdict.agreement)
+      << algorithm->name() << " seed=" << p.seed;
+  EXPECT_TRUE(summary.verdict.strong_validity)
+      << algorithm->name() << " seed=" << p.seed;
+  // All four loss kinds used here satisfy ECF with r_cf = stabilize, all
+  // policies respect the class envelope, and the wake-up service
+  // stabilizes -- so the theorems ALSO promise termination.
+  EXPECT_TRUE(summary.verdict.termination)
+      << algorithm->name() << " seed=" << p.seed;
+}
+
+std::vector<SafetyParams> sweep_matrix() {
+  std::vector<SafetyParams> params;
+  for (AlgKind alg : {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kAlg4}) {
+    for (LossKind loss :
+         {LossKind::kEcfCapture, LossKind::kEcfRandom,
+          LossKind::kCaptureEffect, LossKind::kProbabilistic}) {
+      for (PolicyKind policy :
+           {PolicyKind::kTruthful, PolicyKind::kPreferNull,
+            PolicyKind::kPreferCollision, PolicyKind::kSpurious,
+            PolicyKind::kRandomLegal}) {
+        for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+          params.push_back({alg, loss, policy, seed});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SafetySweep,
+                         ::testing::ValuesIn(sweep_matrix()));
+
+// Algorithm 3 has its own matrix: NoCF loss, always-accurate detector.
+class Alg3SafetySweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(Alg3SafetySweep, SolvedUnderAnyNocfLoss) {
+  const auto [loss_kind, seed] = GetParam();
+  Alg3Algorithm alg(kNumValues);
+  std::unique_ptr<LossAdversary> loss;
+  if (loss_kind == 0) {
+    loss = std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+        UnrestrictedLoss::Mode::kDropOthers, 0.0, seed});
+  } else if (loss_kind == 1) {
+    loss = std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+        UnrestrictedLoss::Mode::kRandom, 0.3, seed});
+  } else {
+    loss = std::make_unique<ProbabilisticLoss>(ProbabilisticLoss::Options{
+        0.6, kNeverRound, seed});
+  }
+  RandomCrash::Options crash;
+  crash.p = 0.02;
+  crash.stop_after = 30;
+  crash.seed = seed * 11;
+  World world = make_world(
+      alg, random_initial_values(6, kNumValues, seed),
+      std::make_unique<NoCm>(),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                       make_truthful_policy()),
+      std::move(loss), std::make_unique<RandomCrash>(crash));
+  const RunSummary summary = run_consensus(std::move(world), 2000);
+  EXPECT_TRUE(summary.verdict.agreement) << "seed " << seed;
+  EXPECT_TRUE(summary.verdict.strong_validity) << "seed " << seed;
+  EXPECT_TRUE(summary.verdict.termination) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Alg3SafetySweep,
+    ::testing::Combine(::testing::Range(0, 3),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8)));
+
+// Anonymity self-check: anonymous algorithms must behave identically under
+// identifier relabeling (Lemma 20's premise).  We run the same world twice
+// with different id_base offsets; anonymous algorithms never read the id,
+// so the executions must produce identical decisions at identical rounds.
+class AnonymitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnonymitySweep, DecisionsInvariantUnderRelabeling) {
+  const int which = GetParam();
+  std::unique_ptr<ConsensusAlgorithm> alg =
+      which == 0 ? std::unique_ptr<ConsensusAlgorithm>(
+                       std::make_unique<Alg1Algorithm>())
+      : which == 1 ? std::unique_ptr<ConsensusAlgorithm>(
+                         std::make_unique<Alg2Algorithm>(kNumValues))
+                   : std::unique_ptr<ConsensusAlgorithm>(
+                         std::make_unique<Alg3Algorithm>(kNumValues));
+  ASSERT_TRUE(alg->anonymous());
+
+  auto build = [&](std::uint64_t id_base) {
+    WakeupService::Options ws;
+    ws.r_wake = 6;
+    EcfAdversary::Options ecf;
+    ecf.r_cf = 6;
+    ecf.seed = 99;  // identical loss randomness in both runs
+    return make_world(*alg, random_initial_values(5, kNumValues, 4),
+                      std::make_unique<WakeupService>(ws),
+                      std::make_unique<OracleDetector>(
+                          DetectorSpec::ZeroOAC(6), make_truthful_policy()),
+                      std::make_unique<EcfAdversary>(ecf),
+                      std::make_unique<NoFailures>(), id_base);
+  };
+  const RunSummary a = run_consensus(build(0), 2000);
+  const RunSummary b = run_consensus(build(1'000'000), 2000);
+  EXPECT_EQ(a.verdict.decided_values, b.verdict.decided_values);
+  EXPECT_EQ(a.verdict.last_decision_round, b.verdict.last_decision_round);
+}
+
+INSTANTIATE_TEST_SUITE_P(AnonAlgs, AnonymitySweep, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,107 @@
+// Parameterized matrix over the Lemma 23 composition: the half/majority
+// boundary must behave identically at every group size and partition
+// length.
+#include <gtest/gtest.h>
+
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "lowerbound/composition.hpp"
+
+namespace ccd {
+namespace {
+
+struct MatrixParams {
+  std::size_t group_size;
+  Round k;
+};
+
+class CompositionMatrix : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(CompositionMatrix, HalfAcSplitsAlgorithm1Always) {
+  const MatrixParams p = GetParam();
+  Alg1Algorithm alg;
+  CompositionConfig config;
+  config.group_size = p.group_size;
+  config.value_a = 1;
+  config.value_b = 2;
+  config.k = p.k;
+  config.spec = DetectorSpec::HalfAC();
+  config.max_rounds = p.k + 100;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.groups_disagree)
+      << "g=" << p.group_size << " k=" << p.k;
+  // The split completes within the first proposal/veto cycle.
+  EXPECT_LE(outcome.group_a_last_decision, 2u);
+  EXPECT_LE(outcome.group_b_last_decision, 2u);
+}
+
+TEST_P(CompositionMatrix, MajAcProtectsAlgorithm1Always) {
+  const MatrixParams p = GetParam();
+  Alg1Algorithm alg;
+  CompositionConfig config;
+  config.group_size = p.group_size;
+  config.value_a = 1;
+  config.value_b = 2;
+  config.k = p.k;
+  config.spec = DetectorSpec::MajAC();
+  config.max_rounds = p.k + 100;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.summary.verdict.agreement);
+  EXPECT_TRUE(outcome.summary.verdict.termination);
+  EXPECT_GT(outcome.summary.verdict.first_decision_round, p.k);
+}
+
+TEST_P(CompositionMatrix, ZeroCompletenessProtectsAlgorithm2Always) {
+  const MatrixParams p = GetParam();
+  Alg2Algorithm alg(64);
+  CompositionConfig config;
+  config.group_size = p.group_size;
+  config.value_a = 5;
+  config.value_b = 60;
+  config.k = p.k;
+  config.spec = DetectorSpec::HalfAC();  // >= zero completeness
+  config.max_rounds = p.k + 200;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.summary.verdict.agreement);
+  EXPECT_TRUE(outcome.summary.verdict.termination);
+  EXPECT_GT(outcome.summary.verdict.first_decision_round, p.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CompositionMatrix,
+    ::testing::Values(MatrixParams{2, 4}, MatrixParams{2, 30},
+                      MatrixParams{3, 10}, MatrixParams{5, 4},
+                      MatrixParams{5, 30}, MatrixParams{8, 10},
+                      MatrixParams{12, 20}));
+
+// The value choice cannot rescue Algorithm 1: ANY pair of distinct values
+// splits, because its broadcast pattern is value-independent (Corollary 2
+// bites hard).
+class ValuePairSweep
+    : public ::testing::TestWithParam<std::pair<Value, Value>> {};
+
+TEST_P(ValuePairSweep, EveryValuePairSplits) {
+  const auto [va, vb] = GetParam();
+  Alg1Algorithm alg;
+  CompositionConfig config;
+  config.group_size = 4;
+  config.value_a = va;
+  config.value_b = vb;
+  config.k = 10;
+  config.spec = DetectorSpec::HalfAC();
+  config.max_rounds = 50;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.groups_disagree);
+  EXPECT_EQ(outcome.group_a_value, va);
+  EXPECT_EQ(outcome.group_b_value, vb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ValuePairSweep,
+    ::testing::Values(std::pair<Value, Value>{0, 1},
+                      std::pair<Value, Value>{0, 1000000},
+                      std::pair<Value, Value>{42, 43},
+                      std::pair<Value, Value>{999, 7}));
+
+}  // namespace
+}  // namespace ccd

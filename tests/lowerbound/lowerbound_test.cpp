@@ -1,0 +1,206 @@
+// Executable versions of the Section 8 lower-bound constructions.
+#include <gtest/gtest.h>
+
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/naive_no_cd.hpp"
+#include "lowerbound/alpha_execution.hpp"
+#include "lowerbound/broadcast_sequence.hpp"
+#include "lowerbound/composition.hpp"
+#include "util/bitcodec.hpp"
+
+namespace ccd {
+namespace {
+
+TEST(AlphaExecution, Alg1DecidesByRoundTwo) {
+  // In alpha_P(v): CST = 1, so Theorem 1 promises a decision by round 3
+  // (CST + 2); in fact the first proposal/veto cycle suffices.
+  Alg1Algorithm alg;
+  const AlphaResult result = run_alpha(alg, 4, 7, 10);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(result.decided_value, 7u);
+  EXPECT_LE(result.last_decision_round, 3u);
+}
+
+TEST(AlphaExecution, BbcReflectsLoneLeader) {
+  Alg1Algorithm alg;
+  const AlphaResult result = run_alpha(alg, 4, 3, 6);
+  ASSERT_GE(result.bbc.size(), 2u);
+  // Round 1: only the leader proposes.  Round 2: nobody vetoes.
+  EXPECT_EQ(result.bbc[0], BroadcastCount::kOne);
+  EXPECT_EQ(result.bbc[1], BroadcastCount::kZero);
+}
+
+TEST(AlphaExecution, AnonymousAlgorithmsYieldIdenticalBbcAcrossIndexSets) {
+  // Corollary 2: alpha_P(v) and alpha_P'(v) share their basic broadcast
+  // count sequence for anonymous algorithms.  We emulate disjoint index
+  // sets with different identifier bases.
+  Alg2Algorithm alg(32);
+  const AlphaResult a = run_alpha(alg, 5, 19, 30, /*id_base=*/0);
+  const AlphaResult b = run_alpha(alg, 5, 19, 30, /*id_base=*/5000);
+  EXPECT_EQ(a.bbc, b.bbc);
+}
+
+TEST(AlphaCollision, PigeonholeFindsCollidingPairForAlg2) {
+  // Lemma 21: for k rounds there are at most 3^k distinct sequences.  With
+  // |V| = 1024 and k = 4 a collision must exist among <= 82 candidates
+  // (3^4 + 1); Algorithm 2's value-dependent bit pattern makes collisions
+  // appear exactly among values sharing their first propose bits.
+  Alg2Algorithm alg(1024);
+  const auto pair = find_alpha_collision(alg, 4, 1024, 4, 100);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_NE(pair->v1, pair->v2);
+  // Verify the collision really holds.
+  const AlphaResult a = run_alpha(alg, 4, pair->v1, 4);
+  const AlphaResult b = run_alpha(alg, 4, pair->v2, 4);
+  EXPECT_EQ(a.bbc, b.bbc);
+}
+
+TEST(AlphaCollision, LongPrefixNeedsMoreValues) {
+  // With only 4 values and Algorithm 2's 2-bit patterns, all four
+  // sequences differ within the first full cycle: no collision at k = 8.
+  Alg2Algorithm alg(4);
+  const auto pair = find_alpha_collision(alg, 4, 4, 8, 4);
+  EXPECT_FALSE(pair.has_value());
+}
+
+TEST(BetaExecution, TotalLossKeepsAllProcessesInLockstep) {
+  Alg3Algorithm alg(16);
+  const BetaResult result = run_beta(alg, 4, 5, 64);
+  // Anonymous + same value + total loss => identical behaviour; the run
+  // still decides because collision reports substitute for messages.
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(result.decided_value, 5u);
+}
+
+TEST(BetaCollision, Theorem9PigeonholeOnBinarySequences) {
+  // 2^k binary sequences of length k: with |V| = 64 and k = 4 at most 16
+  // distinct prefixes exist among 17+ candidates.
+  Alg3Algorithm alg(64);
+  const auto pair = find_beta_collision(alg, 3, 64, 4, 64);
+  ASSERT_TRUE(pair.has_value());
+  const BetaResult a = run_beta(alg, 3, pair->v1, 4);
+  const BetaResult b = run_beta(alg, 3, pair->v2, 4);
+  EXPECT_EQ(a.binary_broadcast, b.binary_broadcast);
+}
+
+TEST(BetaExecution, Alg3NeedsLogVRounds) {
+  // Theorem 9 floor: no decision before lg|V| - 1 rounds.  Algorithm 3's
+  // 8*lg|V| behaviour sits comfortably above it; check both directions.
+  for (std::uint64_t num_values : {4ull, 16ull, 256ull, 4096ull}) {
+    Alg3Algorithm alg(num_values);
+    const Round bound = 8 * ceil_log2(num_values) + 8;
+    const BetaResult result = run_beta(alg, 3, num_values - 1, bound);
+    EXPECT_TRUE(result.all_decided) << num_values;
+    const Round floor_bound = ceil_log2(num_values) - 1;
+    EXPECT_GE(result.last_decision_round, floor_bound) << num_values;
+  }
+}
+
+TEST(Composition, Theorem4NaiveNoCdProtocolSplitsDecision) {
+  // The Theorem 4 execution: two groups, partitioned through round k with
+  // double leaders, healed afterwards.  A protocol that ignores collision
+  // detection decides within its own group and violates agreement.
+  NaiveNoCdAlgorithm alg(/*patience=*/50);
+  CompositionConfig config;
+  config.group_size = 3;
+  config.value_a = 11;
+  config.value_b = 22;
+  config.k = 10;
+  config.spec = DetectorSpec::NoCD();
+  config.max_rounds = 100;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.groups_disagree);
+  EXPECT_EQ(outcome.group_a_value, 11u);
+  EXPECT_EQ(outcome.group_b_value, 22u);
+}
+
+TEST(Composition, Theorem6HalfAcSplitsAlgorithm1) {
+  // Lemma 23 in executable form (also asserted from Algorithm 1's side in
+  // alg1_test): the half-AC prefer-null detector hides the partition.
+  Alg1Algorithm alg;
+  CompositionConfig config;
+  config.group_size = 5;
+  config.value_a = 0;
+  config.value_b = 9;
+  config.k = 12;
+  config.spec = DetectorSpec::HalfAC();
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.groups_disagree);
+}
+
+TEST(Composition, GroupsIndistinguishableFromSoloRunsDuringPartition) {
+  // The heart of Lemma 23: during the partition each group's bbc matches
+  // its solo alpha execution's bbc.  We check via the composed run's
+  // transmission trace: with Alg1, both groups run proposal(1)/veto(0)
+  // cycles, so the composed trace shows 2,0,2,0,... broadcasters.
+  Alg1Algorithm alg;
+  CompositionConfig config;
+  config.group_size = 4;
+  config.value_a = 2;
+  config.value_b = 5;
+  config.k = 6;
+  config.spec = DetectorSpec::HalfAC();
+  config.max_rounds = 4;  // stop inside the partition window
+  const CompositionOutcome outcome = run_composition(alg, config);
+  // Both groups decided by round 2 (their alpha executions decide by 2).
+  EXPECT_EQ(outcome.group_a_value, 2u);
+  EXPECT_EQ(outcome.group_b_value, 5u);
+  EXPECT_LE(outcome.group_a_last_decision, 2u);
+  EXPECT_LE(outcome.group_b_last_decision, 2u);
+}
+
+TEST(Composition, MajorityCompletenessBlocksTheSplit) {
+  Alg1Algorithm alg;
+  CompositionConfig config;
+  config.group_size = 4;
+  config.value_a = 2;
+  config.value_b = 5;
+  config.k = 15;
+  config.spec = DetectorSpec::MajAC();
+  config.max_rounds = 200;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_FALSE(outcome.groups_disagree);
+  EXPECT_TRUE(outcome.summary.verdict.agreement);
+  EXPECT_TRUE(outcome.summary.verdict.termination);
+}
+
+TEST(Composition, Alg2SurvivesEvenZeroCompletePreferNull) {
+  // Algorithm 2 needs only zero completeness; the prefer-null adversary
+  // over 0-AC cannot trick it into a pre-heal decision.
+  Alg2Algorithm alg(64);
+  CompositionConfig config;
+  config.group_size = 4;
+  config.value_a = 1;
+  config.value_b = 62;
+  config.k = 25;
+  config.spec = DetectorSpec::ZeroAC();
+  config.max_rounds = 400;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.summary.verdict.agreement);
+  EXPECT_TRUE(outcome.summary.verdict.termination);
+  EXPECT_GT(outcome.summary.verdict.first_decision_round, config.k);
+}
+
+TEST(Composition, UnhealedPartitionStallsSafeAlgorithms)
+{
+  // Theorem 8 flavour: if the partition NEVER heals and the detector is
+  // only eventually accurate, no safe algorithm can terminate -- Algorithm
+  // 2 stays safe by never deciding.
+  Alg2Algorithm alg(16);
+  CompositionConfig config;
+  config.group_size = 3;
+  config.value_a = 4;
+  config.value_b = 11;
+  config.k = 50;
+  config.heal = false;
+  config.spec = DetectorSpec::ZeroOAC(1);
+  config.max_rounds = 300;
+  const CompositionOutcome outcome = run_composition(alg, config);
+  EXPECT_TRUE(outcome.summary.verdict.agreement);
+  EXPECT_FALSE(outcome.summary.verdict.termination);
+}
+
+}  // namespace
+}  // namespace ccd

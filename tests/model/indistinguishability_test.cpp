@@ -1,0 +1,70 @@
+#include "model/indistinguishability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccd {
+namespace {
+
+RoundView view(CdAdvice cd, CmAdvice cm) {
+  RoundView v;
+  v.cd = cd;
+  v.cm = cm;
+  return v;
+}
+
+TEST(Indistinguishability, IdenticalViewsFullPrefix) {
+  ProcessView a, b;
+  a.initial_value = b.initial_value = 4;
+  for (int i = 0; i < 5; ++i) {
+    a.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kActive));
+    b.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kActive));
+  }
+  EXPECT_EQ(indistinguishable_prefix(a, b), 5u);
+  EXPECT_TRUE(indistinguishable_through(a, b, 5));
+}
+
+TEST(Indistinguishability, DifferentInitialValueIsZero) {
+  ProcessView a, b;
+  a.initial_value = 1;
+  b.initial_value = 2;
+  a.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kActive));
+  b.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kActive));
+  EXPECT_EQ(indistinguishable_prefix(a, b), 0u);
+  EXPECT_FALSE(indistinguishable_through(a, b, 1));
+}
+
+TEST(Indistinguishability, DivergenceCutsPrefix) {
+  ProcessView a, b;
+  a.initial_value = b.initial_value = 0;
+  for (int i = 0; i < 3; ++i) {
+    a.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kPassive));
+    b.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kPassive));
+  }
+  a.rounds.push_back(view(CdAdvice::kCollision, CmAdvice::kPassive));
+  b.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kPassive));
+  EXPECT_EQ(indistinguishable_prefix(a, b), 3u);
+  EXPECT_TRUE(indistinguishable_through(a, b, 3));
+  EXPECT_FALSE(indistinguishable_through(a, b, 4));
+}
+
+TEST(Indistinguishability, MessageContentMatters) {
+  ProcessView a, b;
+  a.initial_value = b.initial_value = 0;
+  RoundView ra, rb;
+  ra.received = {Message{Message::Kind::kEstimate, 1, 0}};
+  rb.received = {Message{Message::Kind::kEstimate, 2, 0}};
+  a.rounds.push_back(ra);
+  b.rounds.push_back(rb);
+  EXPECT_EQ(indistinguishable_prefix(a, b), 0u);
+}
+
+TEST(Indistinguishability, ThroughBeyondRecordedRoundsIsFalse) {
+  ProcessView a, b;
+  a.initial_value = b.initial_value = 0;
+  a.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kActive));
+  b.rounds.push_back(view(CdAdvice::kNull, CmAdvice::kActive));
+  EXPECT_FALSE(indistinguishable_through(a, b, 2));
+}
+
+}  // namespace
+}  // namespace ccd

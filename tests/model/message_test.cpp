@@ -1,0 +1,63 @@
+#include "model/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccd {
+namespace {
+
+TEST(Message, UniqueValuesSortedAndDeduped) {
+  std::vector<Message> recv = {
+      {Message::Kind::kEstimate, 5, 0}, {Message::Kind::kEstimate, 2, 0},
+      {Message::Kind::kEstimate, 5, 0}, {Message::Kind::kVeto, 0, 0},
+      {Message::Kind::kEstimate, 9, 0}};
+  const auto values = unique_values(recv, Message::Kind::kEstimate);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], 2u);  // front() is the min the algorithms take
+  EXPECT_EQ(values[1], 5u);
+  EXPECT_EQ(values[2], 9u);
+}
+
+TEST(Message, UniqueValuesFiltersByKind) {
+  std::vector<Message> recv = {{Message::Kind::kLeaderValue, 7, 0},
+                               {Message::Kind::kEstimate, 3, 0}};
+  EXPECT_EQ(unique_values(recv, Message::Kind::kLeaderValue),
+            std::vector<Value>{7});
+  EXPECT_EQ(unique_values(recv, Message::Kind::kEstimate),
+            std::vector<Value>{3});
+  EXPECT_TRUE(unique_values(recv, Message::Kind::kVote).empty());
+}
+
+TEST(Message, CountKind) {
+  std::vector<Message> recv = {{Message::Kind::kVeto, 0, 0},
+                               {Message::Kind::kVeto, 0, 0},
+                               {Message::Kind::kVote, 0, 0}};
+  EXPECT_EQ(count_kind(recv, Message::Kind::kVeto), 2u);
+  EXPECT_EQ(count_kind(recv, Message::Kind::kVote), 1u);
+  EXPECT_EQ(count_kind(recv, Message::Kind::kEstimate), 0u);
+}
+
+TEST(Message, EmptyMultiset) {
+  std::vector<Message> recv;
+  EXPECT_TRUE(unique_values(recv, Message::Kind::kEstimate).empty());
+  EXPECT_EQ(count_kind(recv, Message::Kind::kVeto), 0u);
+}
+
+TEST(Message, OrderingIsStructural) {
+  const Message a{Message::Kind::kEstimate, 1, 0};
+  const Message b{Message::Kind::kEstimate, 2, 0};
+  const Message c{Message::Kind::kVeto, 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);  // kind is the most significant field
+  EXPECT_EQ(a, (Message{Message::Kind::kEstimate, 1, 0}));
+}
+
+TEST(Message, ToStringCoversKinds) {
+  EXPECT_EQ(to_string(Message{Message::Kind::kEstimate, 4, 0}), "est(4)");
+  EXPECT_EQ(to_string(Message{Message::Kind::kVeto, 0, 0}), "veto");
+  EXPECT_EQ(to_string(Message{Message::Kind::kVote, 0, 0}), "vote");
+  EXPECT_EQ(to_string(Message{Message::Kind::kLeaderValue, 8, 0}),
+            "leader(8)");
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,64 @@
+#include "model/traces.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccd {
+namespace {
+
+TransmissionRound make_round(std::uint32_t c, std::vector<std::uint32_t> t) {
+  TransmissionRound r;
+  r.broadcaster_count = c;
+  r.receive_count = std::move(t);
+  return r;
+}
+
+TEST(TransmissionTrace, BroadcastCountClassification) {
+  TransmissionTrace tt;
+  tt.push(make_round(0, {0, 0}));
+  tt.push(make_round(1, {1, 1}));
+  tt.push(make_round(2, {1, 2}));
+  tt.push(make_round(5, {0, 3}));
+  EXPECT_EQ(tt.broadcast_count(1), BroadcastCount::kZero);
+  EXPECT_EQ(tt.broadcast_count(2), BroadcastCount::kOne);
+  EXPECT_EQ(tt.broadcast_count(3), BroadcastCount::kTwoPlus);
+  EXPECT_EQ(tt.broadcast_count(4), BroadcastCount::kTwoPlus);
+}
+
+TEST(TransmissionTrace, BasicBroadcastSequencePrefix) {
+  TransmissionTrace tt;
+  tt.push(make_round(1, {1}));
+  tt.push(make_round(0, {0}));
+  tt.push(make_round(3, {1}));
+  const auto seq = tt.basic_broadcast_sequence(2);
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[0], BroadcastCount::kOne);
+  EXPECT_EQ(seq[1], BroadcastCount::kZero);
+  // Asking beyond the recorded rounds truncates rather than throws.
+  EXPECT_EQ(tt.basic_broadcast_sequence(10).size(), 3u);
+}
+
+TEST(CmTrace, ActiveCount) {
+  CmTrace cm;
+  cm.push({CmAdvice::kActive, CmAdvice::kPassive, CmAdvice::kActive});
+  cm.push({CmAdvice::kPassive, CmAdvice::kPassive, CmAdvice::kPassive});
+  EXPECT_EQ(cm.active_count(1), 2u);
+  EXPECT_EQ(cm.active_count(2), 0u);
+}
+
+TEST(RoundView, StructuralEquality) {
+  RoundView a;
+  a.sent = Message{Message::Kind::kEstimate, 3, 0};
+  a.received = {Message{Message::Kind::kEstimate, 3, 0}};
+  a.cd = CdAdvice::kNull;
+  a.cm = CmAdvice::kActive;
+  RoundView b = a;
+  EXPECT_EQ(a, b);
+  b.cd = CdAdvice::kCollision;
+  EXPECT_NE(a, b);
+  b = a;
+  b.received.clear();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ccd

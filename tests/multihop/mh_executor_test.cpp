@@ -1,0 +1,185 @@
+#include "multihop/mh_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "multihop/flood.hpp"
+
+namespace ccd {
+namespace {
+
+/// Broadcasts every round; records its observations.
+class BeaconProcess final : public Process {
+ public:
+  explicit BeaconProcess(bool talk) : talk_(talk) {}
+  std::optional<Message> on_send(Round, CmAdvice) override {
+    if (talk_) return Message{Message::Kind::kPayload, 7, 0};
+    return std::nullopt;
+  }
+  void on_receive(Round, std::span<const Message> received, CdAdvice cd,
+                  CmAdvice) override {
+    last_count_ = received.size();
+    last_cd_ = cd;
+  }
+  std::size_t last_count_ = 0;
+  CdAdvice last_cd_ = CdAdvice::kNull;
+
+ private:
+  bool talk_;
+};
+
+MultihopExecutor make_beacon_executor(Topology topo, std::vector<bool> talk,
+                                      MhLinkModel link) {
+  std::vector<std::unique_ptr<Process>> procs;
+  for (bool b : talk) procs.push_back(std::make_unique<BeaconProcess>(b));
+  return MultihopExecutor(std::move(topo), std::move(procs),
+                          DetectorSpec::ZeroAC(), make_truthful_policy(),
+                          link, 5);
+}
+
+TEST(MultihopExecutor, LoneNeighborDeliveredOnReliableLinks) {
+  // Line 0-1-2: only node 0 talks.  Node 1 hears it; node 2 (not
+  // adjacent) hears nothing and must not get a collision report
+  // (accuracy: c_2 = 0).
+  auto ex = make_beacon_executor(Topology::line(3), {true, false, false},
+                                 {1.0, 1.0});
+  ex.step();
+  EXPECT_EQ(ex.last_local_broadcasters(1), 1u);
+  EXPECT_EQ(ex.last_receive_count(1), 1u);
+  EXPECT_EQ(ex.last_cd(1), CdAdvice::kNull);
+  EXPECT_EQ(ex.last_local_broadcasters(2), 0u);
+  EXPECT_EQ(ex.last_receive_count(2), 0u);
+  EXPECT_EQ(ex.last_cd(2), CdAdvice::kNull);
+}
+
+TEST(MultihopExecutor, ContentionCapturesAtMostOne) {
+  // Star-ish: nodes 0 and 2 both adjacent to 1, both talk; p_capture = 1:
+  // node 1 receives exactly one of the two.
+  auto ex = make_beacon_executor(Topology::line(3), {true, false, true},
+                                 {1.0, 1.0});
+  for (int i = 0; i < 20; ++i) {
+    ex.step();
+    EXPECT_EQ(ex.last_local_broadcasters(1), 2u);
+    EXPECT_EQ(ex.last_receive_count(1), 1u);
+    // Lost one of two: zero completeness forces nothing, truthful policy
+    // reports the loss.
+    EXPECT_EQ(ex.last_cd(1), CdAdvice::kCollision);
+  }
+}
+
+TEST(MultihopExecutor, ZeroCompletenessForcedOnTotalLocalLoss) {
+  // Both neighbors of node 1 talk, p_capture = 0: node 1 hears nothing
+  // but MUST be told +- (local c = 2, t = 0).
+  auto ex = make_beacon_executor(Topology::line(3), {true, false, true},
+                                 {1.0, 0.0});
+  ex.step();
+  EXPECT_EQ(ex.last_receive_count(1), 0u);
+  EXPECT_EQ(ex.last_cd(1), CdAdvice::kCollision);
+}
+
+TEST(MultihopExecutor, SelfDeliveryForBroadcasters) {
+  auto ex = make_beacon_executor(Topology::line(2), {true, true}, {1.0, 0.0});
+  ex.step();
+  // Each broadcaster hears at least itself.
+  EXPECT_GE(ex.last_receive_count(0), 1u);
+  EXPECT_GE(ex.last_receive_count(1), 1u);
+  // Own broadcast counts toward the local c.
+  EXPECT_EQ(ex.last_local_broadcasters(0), 2u);
+}
+
+TEST(MultihopExecutor, CliqueMatchesSingleHopSemantics) {
+  // On a clique, local counts equal global counts: one talker, everyone
+  // hears it, nobody gets a report -- the single-hop model's behaviour.
+  auto ex = make_beacon_executor(Topology::clique(5),
+                                 {true, false, false, false, false},
+                                 {1.0, 1.0});
+  ex.step();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ex.last_local_broadcasters(i), 1u);
+    EXPECT_EQ(ex.last_receive_count(i), 1u);
+    EXPECT_EQ(ex.last_cd(i), CdAdvice::kNull);
+  }
+}
+
+TEST(MultihopExecutor, InterferenceWithoutReceptionIsDetected) {
+  // The paper's multihop motivation for eventual (not immediate) collision
+  // freedom: node 1 sits between two talkers it cannot decode (p_capture
+  // 0) -- pure interference, reliably flagged by zero completeness.
+  auto ex = make_beacon_executor(Topology::grid(3, 1), {true, false, true},
+                                 {1.0, 0.0});
+  for (int i = 0; i < 5; ++i) ex.step();
+  EXPECT_EQ(ex.last_cd(1), CdAdvice::kCollision);
+  EXPECT_EQ(ex.last_receive_count(1), 0u);
+}
+
+// ---- flooding -----------------------------------------------------------
+
+struct FloodRun {
+  bool completed = false;
+  Round completion_round = 0;
+};
+
+FloodRun run_flood(const Topology& topo, FloodPolicy policy, Round max_rounds,
+                   std::uint64_t seed) {
+  std::vector<std::unique_ptr<Process>> procs;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    FloodProcess::Options o;
+    o.is_source = i == 0;
+    o.policy = policy;
+    o.fresh_rounds = max_rounds;
+    o.seed = seed * 1000 + i;
+    procs.push_back(std::make_unique<FloodProcess>(o));
+  }
+  MultihopExecutor ex(topo, std::move(procs), DetectorSpec::ZeroAC(),
+                      make_truthful_policy(), {0.9, 0.5}, seed);
+  for (Round r = 1; r <= max_rounds; ++r) {
+    ex.step();
+    bool all = true;
+    for (std::size_t i = 0; i < ex.size(); ++i) {
+      if (!static_cast<FloodProcess&>(ex.process(i)).has_message()) {
+        all = false;
+      }
+    }
+    if (all) return {true, r};
+  }
+  return {false, max_rounds};
+}
+
+TEST(Flood, CoversConnectedTopologies) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_TRUE(run_flood(Topology::line(12), FloodPolicy::kFixed, 3000,
+                          seed)
+                    .completed);
+    EXPECT_TRUE(run_flood(Topology::grid(5, 4), FloodPolicy::kCdBackoff,
+                          3000, seed)
+                    .completed);
+    EXPECT_TRUE(run_flood(Topology::clique(10), FloodPolicy::kCdBackoff,
+                          3000, seed)
+                    .completed);
+  }
+}
+
+TEST(Flood, NeverCrossesDisconnection) {
+  const Topology t = Topology::random_geometric(12, 1e-6, 4);  // isolated
+  const FloodRun run = run_flood(t, FloodPolicy::kFixed, 500, 1);
+  EXPECT_FALSE(run.completed);
+}
+
+TEST(Flood, CompletionGrowsWithDiameter) {
+  // Longer lines take longer -- the D factor of the broadcast bounds in
+  // Section 1.1 (in expectation; use the median over seeds).
+  auto median_completion = [](std::size_t len) {
+    std::vector<Round> rounds;
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      const FloodRun run =
+          run_flood(Topology::line(len), FloodPolicy::kCdBackoff, 5000, seed);
+      EXPECT_TRUE(run.completed);
+      rounds.push_back(run.completion_round);
+    }
+    std::sort(rounds.begin(), rounds.end());
+    return rounds[rounds.size() / 2];
+  };
+  EXPECT_LT(median_completion(4), median_completion(24));
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,159 @@
+#include "multihop/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "multihop/mh_executor.hpp"
+
+namespace ccd {
+namespace {
+
+struct MisRun {
+  std::vector<MisProcess::State> states;
+  bool all_settled = false;
+  Round settled_at = 0;
+};
+
+MisRun run_mis(const Topology& topo, DetectorSpec spec,
+               std::unique_ptr<AdvicePolicy> policy, MhLinkModel link,
+               std::uint64_t seed, Round max_rounds = 4000) {
+  std::vector<std::unique_ptr<Process>> procs;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    MisProcess::Options o;
+    o.seed = seed * 1000 + i;
+    procs.push_back(std::make_unique<MisProcess>(o));
+  }
+  MultihopExecutor ex(topo, std::move(procs), spec, std::move(policy), link,
+                      seed);
+  MisRun run;
+  for (Round r = 1; r <= max_rounds; ++r) {
+    ex.step();
+    bool all = true;
+    for (std::size_t i = 0; i < ex.size(); ++i) {
+      if (!static_cast<MisProcess&>(ex.process(i)).settled()) all = false;
+    }
+    if (all) {
+      run.all_settled = true;
+      run.settled_at = r;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < ex.size(); ++i) {
+    run.states.push_back(static_cast<MisProcess&>(ex.process(i)).state());
+  }
+  return run;
+}
+
+bool independent(const Topology& topo,
+                 const std::vector<MisProcess::State>& states) {
+  for (std::size_t a = 0; a < topo.size(); ++a) {
+    if (states[a] != MisProcess::State::kHead) continue;
+    for (std::uint32_t b : topo.neighbors(a)) {
+      if (states[b] == MisProcess::State::kHead) return false;
+    }
+  }
+  return true;
+}
+
+bool dominating(const Topology& topo,
+                const std::vector<MisProcess::State>& states) {
+  for (std::size_t a = 0; a < topo.size(); ++a) {
+    if (states[a] == MisProcess::State::kHead) continue;
+    bool covered = false;
+    for (std::uint32_t b : topo.neighbors(a)) {
+      if (states[b] == MisProcess::State::kHead) covered = true;
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+struct MisParams {
+  int topo_kind;
+  std::uint64_t seed;
+};
+
+Topology make_topo(int kind) {
+  switch (kind) {
+    case 0:
+      return Topology::line(12);
+    case 1:
+      return Topology::grid(5, 5);
+    case 2:
+      return Topology::clique(10);
+    default:
+      return Topology::random_geometric(30, 0.35, 11);
+  }
+}
+
+class MisSweep : public ::testing::TestWithParam<MisParams> {};
+
+TEST_P(MisSweep, CompleteDetectorGivesMaximalIndependentSet) {
+  const MisParams p = GetParam();
+  const Topology topo = make_topo(p.topo_kind);
+  const MisRun run = run_mis(topo, DetectorSpec::AC(),
+                             make_truthful_policy(), {0.9, 0.3}, p.seed);
+  ASSERT_TRUE(run.all_settled)
+      << "topo=" << p.topo_kind << " seed=" << p.seed;
+  EXPECT_TRUE(independent(topo, run.states));
+  EXPECT_TRUE(dominating(topo, run.states));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MisSweep,
+    ::testing::Values(MisParams{0, 1}, MisParams{0, 2}, MisParams{1, 1},
+                      MisParams{1, 2}, MisParams{2, 1}, MisParams{2, 2},
+                      MisParams{3, 1}, MisParams{3, 2}, MisParams{0, 3},
+                      MisParams{1, 3}, MisParams{2, 3}, MisParams{3, 3}));
+
+TEST(Mis, CliqueElectsExactlyOneHead) {
+  const Topology topo = Topology::clique(10);
+  const MisRun run = run_mis(topo, DetectorSpec::AC(),
+                             make_truthful_policy(), {0.9, 0.3}, 5);
+  ASSERT_TRUE(run.all_settled);
+  int heads = 0;
+  for (auto s : run.states) heads += s == MisProcess::State::kHead ? 1 : 0;
+  EXPECT_EQ(heads, 1);
+}
+
+TEST(Mis, LineHeadsRoughlyEveryOtherNode) {
+  const Topology topo = Topology::line(20);
+  const MisRun run = run_mis(topo, DetectorSpec::AC(),
+                             make_truthful_policy(), {0.9, 0.3}, 6);
+  ASSERT_TRUE(run.all_settled);
+  int heads = 0;
+  for (auto s : run.states) heads += s == MisProcess::State::kHead ? 1 : 0;
+  // An MIS on a 20-path has between ceil(20/3) = 7 and 10 nodes.
+  EXPECT_GE(heads, 7);
+  EXPECT_LE(heads, 10);
+}
+
+TEST(Mis, IsolatedNodesAlwaysBecomeHeads) {
+  const Topology topo = Topology::random_geometric(8, 1e-6, 2);  // isolated
+  const MisRun run = run_mis(topo, DetectorSpec::AC(),
+                             make_truthful_policy(), {0.9, 0.3}, 7);
+  ASSERT_TRUE(run.all_settled);
+  for (auto s : run.states) EXPECT_EQ(s, MisProcess::State::kHead);
+}
+
+TEST(Mis, ZeroCompletenessAlonePermitsAdjacentHeads) {
+  // The ablation: hand the protocol a detector that may legally stay
+  // silent when only SOME messages are lost (zero-complete, prefer-null)
+  // and make simultaneous candidates never capture each other's marks.
+  // Adjacent candidates then both see clean silence and both elect --
+  // independence collapses.  Completeness, not carrier sensing, is what
+  // the safety of the silence test rests on (the paper's theme, one hop
+  // out).
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 30 && !violated; ++seed) {
+    const Topology topo = Topology::clique(6);
+    const MisRun run =
+        run_mis(topo, DetectorSpec::ZeroAC(), make_prefer_null_policy(),
+                {0.9, 0.0}, seed, 600);
+    if (!independent(topo, run.states)) violated = true;
+  }
+  EXPECT_TRUE(violated)
+      << "expected some seed to elect adjacent heads under 0-AC";
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,88 @@
+#include "multihop/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccd {
+namespace {
+
+TEST(Topology, CliqueEveryoneAdjacent) {
+  const Topology t = Topology::clique(5);
+  EXPECT_EQ(t.size(), 5u);
+  for (std::size_t a = 0; a < 5; ++a) {
+    EXPECT_EQ(t.degree(a), 4u);
+    for (std::size_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(t.adjacent(a, b), a != b);
+    }
+  }
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.diameter(), 1u);
+}
+
+TEST(Topology, LineDistancesAndDiameter) {
+  const Topology t = Topology::line(10);
+  EXPECT_EQ(t.distance(0, 9), 9u);
+  EXPECT_EQ(t.distance(3, 7), 4u);
+  EXPECT_EQ(t.diameter(), 9u);
+  EXPECT_EQ(t.degree(0), 1u);
+  EXPECT_EQ(t.degree(5), 2u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, GridStructure) {
+  const Topology t = Topology::grid(4, 3);
+  EXPECT_EQ(t.size(), 12u);
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(t.degree(0), 2u);
+  EXPECT_EQ(t.degree(1), 3u);
+  EXPECT_EQ(t.degree(5), 4u);
+  // Manhattan distances.
+  EXPECT_EQ(t.distance(0, 11), 3u + 2u);
+  EXPECT_EQ(t.diameter(), 5u);
+}
+
+TEST(Topology, SingletonAndEmpty) {
+  const Topology one = Topology::line(1);
+  EXPECT_TRUE(one.connected());
+  EXPECT_EQ(one.diameter(), 0u);
+  const Topology two = Topology::line(2);
+  EXPECT_EQ(two.diameter(), 1u);
+}
+
+TEST(Topology, DisconnectedGeometricDetected) {
+  // Tiny radius: n isolated points.
+  const Topology t = Topology::random_geometric(20, 1e-6, 3);
+  EXPECT_FALSE(t.connected());
+  EXPECT_EQ(t.diameter(), Topology::kUnreachable);
+  EXPECT_EQ(t.distance(0, 1), Topology::kUnreachable);
+}
+
+TEST(Topology, DenseGeometricConnected) {
+  // Radius ~ full square: a clique.
+  const Topology t = Topology::random_geometric(20, 2.0, 3);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.diameter(), 1u);
+  EXPECT_EQ(t.max_degree(), 19u);
+}
+
+TEST(Topology, GeometricDeterministicPerSeed) {
+  const Topology a = Topology::random_geometric(30, 0.3, 7);
+  const Topology b = Topology::random_geometric(30, 0.3, 7);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.neighbors(i), b.neighbors(i));
+  }
+}
+
+TEST(Topology, EccentricityConsistentWithDiameter) {
+  const Topology t = Topology::grid(5, 5);
+  std::uint32_t worst = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    worst = std::max(worst, t.eccentricity(i));
+  }
+  EXPECT_EQ(worst, t.diameter());
+  // Center of the grid has the smallest eccentricity.
+  EXPECT_EQ(t.eccentricity(12), 4u);
+  EXPECT_EQ(t.eccentricity(0), 8u);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,67 @@
+// Smoke test: each algorithm solves consensus in a friendly world.
+#include <gtest/gtest.h>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/no_cm.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/alg4_non_anonymous.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/ecf_adversary.hpp"
+#include "net/unrestricted_loss.hpp"
+
+namespace ccd {
+namespace {
+
+World friendly_world(const ConsensusAlgorithm& alg, std::size_t n,
+                     std::uint64_t num_values, std::uint64_t seed) {
+  WakeupService::Options ws;
+  ws.r_wake = 5;
+  EcfAdversary::Options ecf;
+  ecf.r_cf = 5;
+  ecf.seed = seed;
+  return make_world(alg, random_initial_values(n, num_values, seed),
+                    std::make_unique<WakeupService>(ws),
+                    std::make_unique<OracleDetector>(
+                        DetectorSpec::MajOAC(5), make_truthful_policy()),
+                    std::make_unique<EcfAdversary>(ecf),
+                    std::make_unique<NoFailures>());
+}
+
+TEST(Smoke, Alg1Decides) {
+  Alg1Algorithm alg;
+  auto summary = run_consensus(friendly_world(alg, 8, 16, 42), 500);
+  EXPECT_TRUE(summary.verdict.solved());
+  EXPECT_LE(summary.rounds_after_cst, 2u);
+}
+
+TEST(Smoke, Alg2Decides) {
+  Alg2Algorithm alg(16);
+  auto summary = run_consensus(friendly_world(alg, 8, 16, 43), 500);
+  EXPECT_TRUE(summary.verdict.solved());
+}
+
+TEST(Smoke, Alg3DecidesUnderTotalLoss) {
+  Alg3Algorithm alg(16);
+  UnrestrictedLoss::Options loss;
+  World world = make_world(
+      alg, random_initial_values(8, 16, 44), std::make_unique<NoCm>(),
+      std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                       make_truthful_policy()),
+      std::make_unique<UnrestrictedLoss>(loss),
+      std::make_unique<NoFailures>());
+  auto summary = run_consensus(std::move(world), 500);
+  EXPECT_TRUE(summary.verdict.solved());
+}
+
+TEST(Smoke, Alg4Decides) {
+  Alg4Algorithm alg(/*num_values=*/1 << 10, /*id_space=*/64);
+  auto summary = run_consensus(friendly_world(alg, 8, 1 << 10, 45), 2000);
+  EXPECT_TRUE(summary.verdict.solved());
+}
+
+}  // namespace
+}  // namespace ccd

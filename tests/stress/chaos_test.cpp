@@ -1,0 +1,198 @@
+// Chaos stress: long randomized campaigns over every algorithm with
+// randomly drawn (legal) environments.  Safety must survive everything;
+// liveness must hold whenever the drawn environment satisfies the
+// algorithm's theorem preconditions.
+#include <gtest/gtest.h>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/backoff_cm.hpp"
+#include "cm/no_cm.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/alg4_non_anonymous.hpp"
+#include "consensus/harness.hpp"
+#include "fault/failure_adversary.hpp"
+#include "net/capture_effect.hpp"
+#include "net/ecf_adversary.hpp"
+#include "net/probabilistic_loss.hpp"
+#include "net/unrestricted_loss.hpp"
+#include "util/rng.hpp"
+
+namespace ccd {
+namespace {
+
+struct DrawnEnv {
+  std::size_t n;
+  std::uint64_t num_values;
+  Round cst;
+  std::unique_ptr<ContentionManager> cm;
+  std::unique_ptr<LossAdversary> loss;
+  std::unique_ptr<FailureAdversary> fault;
+};
+
+DrawnEnv draw_env(Rng& rng, bool need_ecf) {
+  DrawnEnv env;
+  env.n = 2 + rng.below(14);
+  env.num_values = 2 + rng.below(1 << 12);
+  env.cst = 1 + static_cast<Round>(rng.below(40));
+
+  WakeupService::Options ws;
+  ws.r_wake = env.cst;
+  ws.pre = static_cast<WakeupService::PreStabilization>(rng.below(4));
+  ws.post = rng.chance(0.5)
+                ? WakeupService::PostStabilization::kMinAlive
+                : WakeupService::PostStabilization::kRotateAlive;
+  ws.seed = rng();
+  env.cm = std::make_unique<WakeupService>(ws);
+
+  const int loss_kind = static_cast<int>(rng.below(need_ecf ? 3 : 4));
+  switch (loss_kind) {
+    case 0: {
+      EcfAdversary::Options o;
+      o.r_cf = env.cst;
+      o.pre = static_cast<EcfAdversary::PreMode>(rng.below(3));
+      o.contention = static_cast<EcfAdversary::ContentionMode>(rng.below(4));
+      o.p_deliver = 0.2 + 0.6 * rng.uniform();
+      o.seed = rng();
+      env.loss = std::make_unique<EcfAdversary>(o);
+      break;
+    }
+    case 1: {
+      CaptureEffectLoss::Options o;
+      o.r_cf = env.cst;
+      o.p_capture = 0.2 + 0.7 * rng.uniform();
+      o.p_single_deliver = 0.5 + 0.4 * rng.uniform();
+      o.seed = rng();
+      env.loss = std::make_unique<CaptureEffectLoss>(o);
+      break;
+    }
+    case 2: {
+      ProbabilisticLoss::Options o;
+      o.p_deliver = 0.3 + 0.6 * rng.uniform();
+      o.r_cf = env.cst;
+      o.seed = rng();
+      env.loss = std::make_unique<ProbabilisticLoss>(o);
+      break;
+    }
+    default: {
+      env.loss = std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+          UnrestrictedLoss::Mode::kRandom, 0.4, rng()});
+      break;
+    }
+  }
+
+  if (rng.chance(0.5)) {
+    RandomCrash::Options o;
+    o.p = 0.03 * rng.uniform();
+    o.stop_after = env.cst > 2 ? env.cst - 2 : 1;
+    o.seed = rng();
+    env.fault = std::make_unique<RandomCrash>(o);
+  } else {
+    env.fault = std::make_unique<NoFailures>();
+  }
+  return env;
+}
+
+TEST(Chaos, Alg1Campaign) {
+  Rng rng(0xA151);
+  for (int trial = 0; trial < 60; ++trial) {
+    DrawnEnv env = draw_env(rng, /*need_ecf=*/true);
+    Alg1Algorithm alg;
+    World world = make_world(
+        alg, random_initial_values(env.n, env.num_values, rng()),
+        std::move(env.cm),
+        std::make_unique<OracleDetector>(
+            DetectorSpec::MajOAC(env.cst),
+            std::make_unique<RandomLegalPolicy>(rng())),
+        std::move(env.loss), std::move(env.fault));
+    const RunSummary s = run_consensus(std::move(world), env.cst + 100);
+    ASSERT_TRUE(s.verdict.agreement) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.strong_validity) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.termination) << "trial " << trial;
+    ASSERT_LE(s.rounds_after_cst, 2u) << "trial " << trial;
+  }
+}
+
+TEST(Chaos, Alg2Campaign) {
+  Rng rng(0xA152);
+  for (int trial = 0; trial < 60; ++trial) {
+    DrawnEnv env = draw_env(rng, /*need_ecf=*/true);
+    Alg2Algorithm alg(env.num_values);
+    const Round bound = Alg2Algorithm::round_bound_after_cst(env.num_values);
+    World world = make_world(
+        alg, random_initial_values(env.n, env.num_values, rng()),
+        std::move(env.cm),
+        std::make_unique<OracleDetector>(
+            DetectorSpec::ZeroOAC(env.cst),
+            std::make_unique<RandomLegalPolicy>(rng())),
+        std::move(env.loss), std::move(env.fault));
+    const RunSummary s =
+        run_consensus(std::move(world), env.cst + 4 * bound + 60);
+    ASSERT_TRUE(s.verdict.agreement) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.strong_validity) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.termination) << "trial " << trial;
+    ASSERT_LE(s.rounds_after_cst, bound) << "trial " << trial;
+  }
+}
+
+TEST(Chaos, Alg3Campaign) {
+  Rng rng(0xA153);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.below(10);
+    const std::uint64_t num_values = 2 + rng.below(1 << 10);
+    Alg3Algorithm alg(num_values);
+    std::unique_ptr<LossAdversary> loss;
+    if (rng.chance(0.5)) {
+      loss = std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+          rng.chance(0.5) ? UnrestrictedLoss::Mode::kDropOthers
+                          : UnrestrictedLoss::Mode::kRandom,
+          0.4, rng()});
+    } else {
+      ProbabilisticLoss::Options o;
+      o.p_deliver = rng.uniform();
+      o.r_cf = kNeverRound;
+      o.seed = rng();
+      loss = std::make_unique<ProbabilisticLoss>(o);
+    }
+    RandomCrash::Options crash;
+    crash.p = 0.02 * rng.uniform();
+    crash.stop_after = 30;
+    crash.seed = rng();
+    World world = make_world(
+        alg, random_initial_values(n, num_values, rng()),
+        std::make_unique<NoCm>(),
+        std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                         make_truthful_policy()),
+        std::move(loss), std::make_unique<RandomCrash>(crash));
+    const RunSummary s = run_consensus(std::move(world), 3000);
+    ASSERT_TRUE(s.verdict.agreement) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.strong_validity) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.termination) << "trial " << trial;
+  }
+}
+
+TEST(Chaos, Alg4Campaign) {
+  Rng rng(0xA154);
+  for (int trial = 0; trial < 40; ++trial) {
+    DrawnEnv env = draw_env(rng, /*need_ecf=*/true);
+    const std::uint64_t id_space =
+        rng.chance(0.5) ? 64 : (1ull << 40);  // both protocol modes
+    Alg4Algorithm alg(1ull << 20, id_space);
+    World world = make_world(
+        alg, random_initial_values(env.n, 1ull << 20, rng()),
+        std::move(env.cm),
+        std::make_unique<OracleDetector>(
+            DetectorSpec::ZeroOAC(env.cst),
+            std::make_unique<SpuriousPolicy>(0.2, env.cst, rng())),
+        std::move(env.loss), std::move(env.fault));
+    const RunSummary s = run_consensus(std::move(world), env.cst + 1200);
+    ASSERT_TRUE(s.verdict.agreement) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.strong_validity) << "trial " << trial;
+    ASSERT_TRUE(s.verdict.termination) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,66 @@
+#include "util/bitcodec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccd {
+namespace {
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+  EXPECT_EQ(ceil_log2(1ull << 20), 20u);
+  EXPECT_EQ(ceil_log2((1ull << 20) + 1), 21u);
+}
+
+TEST(BitCodec, WidthMatchesCeilLog) {
+  EXPECT_EQ(BitCodec(2).width(), 1u);
+  EXPECT_EQ(BitCodec(16).width(), 4u);
+  EXPECT_EQ(BitCodec(17).width(), 5u);
+  EXPECT_EQ(BitCodec(1).width(), 1u);  // degenerate singleton still 1 bit
+}
+
+TEST(BitCodec, MsbFirstIndexing) {
+  // v = 0b1010 over |V| = 16: bit 1 (MSB) = 1, bit 2 = 0, bit 3 = 1, bit 4 = 0.
+  BitCodec codec(16);
+  EXPECT_TRUE(codec.bit(0b1010, 1));
+  EXPECT_FALSE(codec.bit(0b1010, 2));
+  EXPECT_TRUE(codec.bit(0b1010, 3));
+  EXPECT_FALSE(codec.bit(0b1010, 4));
+}
+
+TEST(BitCodec, RoundTripsAllValuesSmallSpace) {
+  for (std::uint64_t m : {2ull, 3ull, 7ull, 16ull, 31ull, 64ull}) {
+    BitCodec codec(m);
+    for (Value v = 0; v < m; ++v) {
+      std::vector<char> bits(codec.width());
+      for (std::uint32_t b = 1; b <= codec.width(); ++b) {
+        bits[b - 1] = codec.bit(v, b) ? 1 : 0;
+      }
+      EXPECT_EQ(codec.from_bits(reinterpret_cast<bool*>(bits.data())), v)
+          << "m=" << m;
+    }
+  }
+}
+
+TEST(BitCodec, DistinctValuesDistinctCodewords) {
+  BitCodec codec(100);
+  for (Value a = 0; a < 100; ++a) {
+    for (Value b = a + 1; b < 100; ++b) {
+      bool differ = false;
+      for (std::uint32_t bit = 1; bit <= codec.width(); ++bit) {
+        if (codec.bit(a, bit) != codec.bit(b, bit)) differ = true;
+      }
+      ASSERT_TRUE(differ) << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccd

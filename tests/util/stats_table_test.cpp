@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ccd {
+namespace {
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.41421, 1e-4);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
+}
+
+TEST(Stats, SingleSample) {
+  Stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(37), 42.0);
+}
+
+TEST(Stats, AddAfterQueryResorts) {
+  Stats s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(AsciiTable, RendersAlignedCells) {
+  AsciiTable t({"name", "rounds"});
+  t.add("alg1", 2);
+  t.add("alg2-with-long-name", 12);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("alg2-with-long-name"), std::string::npos);
+  // All lines equal width.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTable, ShortRowsPadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(AsciiTable, FormatsBoolAndDouble) {
+  AsciiTable t({"flag", "num"});
+  t.add(true, 3.14159);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccd

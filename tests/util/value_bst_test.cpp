@@ -1,0 +1,129 @@
+#include "util/value_bst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitcodec.hpp"
+
+namespace ccd {
+namespace {
+
+TEST(ValueBst, RootOfSeven) {
+  // {0..6}: root value 3, left subtree {0,1,2}, right {4,5,6}.
+  ValueBstCursor c(7);
+  EXPECT_TRUE(c.is_root());
+  EXPECT_EQ(c.value(), 3u);
+  EXPECT_TRUE(c.left_contains(0));
+  EXPECT_TRUE(c.left_contains(2));
+  EXPECT_FALSE(c.left_contains(3));
+  EXPECT_TRUE(c.right_contains(4));
+  EXPECT_TRUE(c.right_contains(6));
+  EXPECT_FALSE(c.right_contains(3));
+}
+
+TEST(ValueBst, SingletonTree) {
+  ValueBstCursor c(1);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(c.is_leaf());
+  EXPECT_FALSE(c.has_left());
+  EXPECT_FALSE(c.has_right());
+  EXPECT_EQ(c.tree_height(), 0u);
+}
+
+TEST(ValueBst, DescendAscendRoundTrip) {
+  ValueBstCursor c(15);
+  const ValueBstCursor root = c;
+  c.descend_left();
+  EXPECT_EQ(c.depth(), 1u);
+  c.descend_right();
+  EXPECT_EQ(c.depth(), 2u);
+  c.ascend();
+  c.ascend();
+  EXPECT_EQ(c, root);
+}
+
+TEST(ValueBst, AscendFromRootIsNoOp) {
+  ValueBstCursor c(7);
+  const ValueBstCursor root = c;
+  c.ascend();
+  EXPECT_EQ(c, root);
+}
+
+TEST(ValueBst, EveryValueReachableBySearch) {
+  for (std::uint64_t m : {1ull, 2ull, 5ull, 16ull, 33ull, 100ull}) {
+    std::set<Value> found;
+    for (Value target = 0; target < m; ++target) {
+      ValueBstCursor c(m);
+      while (c.value() != target) {
+        if (c.left_contains(target)) {
+          c.descend_left();
+        } else {
+          ASSERT_TRUE(c.right_contains(target));
+          c.descend_right();
+        }
+      }
+      found.insert(c.value());
+    }
+    EXPECT_EQ(found.size(), m);
+  }
+}
+
+TEST(ValueBst, BstOrderingInvariant) {
+  // At every node, left subtree values < node value < right subtree values.
+  const std::uint64_t m = 31;
+  ValueBstCursor c(m);
+  // DFS via explicit recursion on cursors.
+  auto check = [](auto&& self, ValueBstCursor node) -> void {
+    const Value v = node.value();
+    for (Value x = 0; x < 31; ++x) {
+      if (node.left_contains(x)) {
+        EXPECT_LT(x, v);
+      }
+      if (node.right_contains(x)) {
+        EXPECT_GT(x, v);
+      }
+    }
+    if (node.has_left()) {
+      ValueBstCursor l = node;
+      l.descend_left();
+      self(self, l);
+    }
+    if (node.has_right()) {
+      ValueBstCursor r = node;
+      r.descend_right();
+      self(self, r);
+    }
+  };
+  check(check, c);
+}
+
+TEST(ValueBst, HeightIsLogarithmic) {
+  // Theorem 3 charges 4 rounds per tree edge; the height must be ~lg|V|.
+  for (std::uint64_t m : {2ull, 4ull, 15ull, 16ull, 17ull, 1023ull, 1024ull}) {
+    ValueBstCursor c(m);
+    EXPECT_LE(c.tree_height(), ceil_log2(m + 1));
+  }
+}
+
+TEST(ValueBst, SearchDepthBoundedByHeight) {
+  const std::uint64_t m = 1000;
+  ValueBstCursor probe(m);
+  const std::uint32_t height = probe.tree_height();
+  for (Value target = 0; target < m; target += 7) {
+    ValueBstCursor c(m);
+    std::uint32_t depth = 0;
+    while (c.value() != target) {
+      if (c.left_contains(target)) {
+        c.descend_left();
+      } else {
+        c.descend_right();
+      }
+      ++depth;
+    }
+    EXPECT_LE(depth, height);
+  }
+}
+
+}  // namespace
+}  // namespace ccd
