@@ -3,63 +3,61 @@
 //
 // Paper claim (shape): rounds-after-CST is a CONSTANT (= 2), flat across
 // every parameter; the pre-CST phase contributes nothing to the bound.
+//
+// Ported onto the exp/ orchestration engine: the n x |V| x CST product is
+// a SweepGrid (chaotic pre-CST environment, spurious detector policy --
+// the same adversarial wiring the hand-rolled loops used), executed across
+// all cores, reduced by the Aggregator.
 #include <iostream>
+#include <string>
 
-#include "cd/oracle_detector.hpp"
-#include "cm/wakeup_service.hpp"
-#include "consensus/alg1_maj_oac.hpp"
-#include "consensus/harness.hpp"
-#include "fault/failure_adversary.hpp"
-#include "net/ecf_adversary.hpp"
-#include "util/stats.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
 #include "util/table.hpp"
 
 namespace ccd {
 namespace {
 
+using namespace ccd::exp;
+
 void sweep() {
-  Alg1Algorithm alg;
+  SweepGrid grid;
+  grid.base.alg = AlgKind::kAlg1;
+  grid.base.detector = DetectorKind::kMajOAC;
+  grid.base.policy = PolicyKind::kSpurious;
+  grid.base.spurious_p = 0.4;
+  grid.base.cm = CmKind::kWakeup;
+  grid.base.loss = LossKind::kEcf;
+  grid.base.chaos = ChaosKind::kChaotic;
+  grid.ns = {2, 4, 8, 16, 32, 64, 128};
+  grid.value_spaces = {2, 256, 1ull << 20};
+  grid.csts = {1, 10, 50};
+  grid.seeds_per_cell = 20;
+  grid.grid_seed = 2025;
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  const auto cells = aggregate(grid, run_sweep(grid, options));
+
+  const Round kBound = 2;
   AsciiTable table({"n", "|V|", "CST", "seeds", "after-CST max",
                     "after-CST mean", "bound", "ok"});
-  const Round kBound = 2;
   bool all_ok = true;
-  for (std::size_t n : {2, 4, 8, 16, 32, 64, 128}) {
-    for (std::uint64_t num_values : {2ull, 256ull, 1ull << 20}) {
-      for (Round cst : {1u, 10u, 50u}) {
-        Stats after;
-        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-          WakeupService::Options ws;
-          ws.r_wake = cst;
-          ws.pre = WakeupService::PreStabilization::kRandomSubset;
-          ws.post = WakeupService::PostStabilization::kRotateAlive;
-          ws.seed = seed;
-          EcfAdversary::Options ecf;
-          ecf.r_cf = cst;
-          ecf.pre = EcfAdversary::PreMode::kCapture;
-          ecf.contention = EcfAdversary::ContentionMode::kCapture;
-          ecf.seed = seed * 3;
-          World world = make_world(
-              alg, random_initial_values(n, num_values, seed * 5),
-              std::make_unique<WakeupService>(ws),
-              std::make_unique<OracleDetector>(
-                  DetectorSpec::MajOAC(cst),
-                  std::make_unique<SpuriousPolicy>(0.4, cst, seed * 7)),
-              std::make_unique<EcfAdversary>(ecf),
-              std::make_unique<NoFailures>());
-          const RunSummary s = run_consensus(std::move(world), cst + 60);
-          if (!s.verdict.solved()) {
-            all_ok = false;
-            continue;
-          }
-          after.add(static_cast<double>(s.rounds_after_cst));
-        }
-        const bool ok = !after.empty() && after.max() <= kBound;
-        all_ok = all_ok && ok;
-        table.add(n, num_values, cst, after.count(),
-                  static_cast<std::uint64_t>(after.max()), after.mean(),
-                  kBound, ok);
-      }
-    }
+  for (const CellAggregate& cell : cells) {
+    const bool ok = cell.solved == cell.runs &&
+                    !cell.rounds_after_cst.empty() &&
+                    cell.rounds_after_cst.max() <= kBound;
+    all_ok = all_ok && ok;
+    table.add(cell.spec.n, cell.spec.num_values, cell.spec.cst_target,
+              cell.solved,
+              cell.rounds_after_cst.empty()
+                  ? std::string("-")
+                  : std::to_string(
+                        static_cast<Round>(cell.rounds_after_cst.max())),
+              cell.rounds_after_cst.empty() ? 0.0
+                                            : cell.rounds_after_cst.mean(),
+              kBound, ok);
   }
   table.print(std::cout);
   std::cout << (all_ok ? "\nRESULT: Theorem 1 bound holds everywhere "

@@ -4,64 +4,64 @@
 // Paper claim (shape): rounds-after-CST grow LOGARITHMICALLY in |V| --
 // doubling |V| adds 2 rounds -- matching the Theorem 6 lower bound for
 // half-complete-or-weaker detectors.
+//
+// Ported onto the exp/ orchestration engine: |V| x n x CST is a SweepGrid
+// (the hand-rolled version folded CST variation into the seed loop; the
+// grid makes it an explicit axis) run in parallel and reduced per cell.
 #include <iostream>
+#include <string>
 
-#include "cd/oracle_detector.hpp"
-#include "cm/wakeup_service.hpp"
 #include "consensus/alg2_zero_oac.hpp"
-#include "consensus/harness.hpp"
-#include "fault/failure_adversary.hpp"
-#include "net/ecf_adversary.hpp"
-#include "util/stats.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
+#include "util/bitcodec.hpp"
 #include "util/table.hpp"
 
 namespace ccd {
 namespace {
 
+using namespace ccd::exp;
+
 void sweep() {
-  AsciiTable table({"|V|", "lg|V|", "n", "seeds", "after-CST max",
+  SweepGrid grid;
+  grid.base.alg = AlgKind::kAlg2;
+  grid.base.detector = DetectorKind::kZeroOAC;
+  grid.base.policy = PolicyKind::kSpurious;
+  grid.base.spurious_p = 0.3;
+  grid.base.cm = CmKind::kWakeup;
+  grid.base.loss = LossKind::kEcf;
+  grid.base.chaos = ChaosKind::kChaotic;
+  grid.base.p_deliver = 0.5;
+  grid.value_spaces = {2, 4, 16, 256, 4096, 1ull << 16, 1ull << 20};
+  grid.ns = {4, 16};
+  grid.csts = {5, 12, 19};
+  grid.seeds_per_cell = 5;
+  grid.grid_seed = 2025;
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  const auto cells = aggregate(grid, run_sweep(grid, options));
+
+  AsciiTable table({"|V|", "lg|V|", "n", "CST", "seeds", "after-CST max",
                     "after-CST mean", "bound 2(lg|V|+1)", "ok"});
   bool all_ok = true;
-  for (std::uint64_t num_values :
-       {2ull, 4ull, 16ull, 256ull, 4096ull, 1ull << 16, 1ull << 20}) {
-    Alg2Algorithm alg(num_values);
-    const Round bound = Alg2Algorithm::round_bound_after_cst(num_values);
-    for (std::size_t n : {4, 16}) {
-      Stats after;
-      for (std::uint64_t seed = 1; seed <= 15; ++seed) {
-        const Round cst = 5 + static_cast<Round>(seed % 3) * 7;
-        WakeupService::Options ws;
-        ws.r_wake = cst;
-        ws.pre = WakeupService::PreStabilization::kRandomSubset;
-        ws.seed = seed;
-        EcfAdversary::Options ecf;
-        ecf.r_cf = cst;
-        ecf.pre = EcfAdversary::PreMode::kRandom;
-        ecf.p_deliver = 0.5;
-        ecf.contention = EcfAdversary::ContentionMode::kCapture;
-        ecf.seed = seed * 3;
-        World world = make_world(
-            alg, random_initial_values(n, num_values, seed * 5),
-            std::make_unique<WakeupService>(ws),
-            std::make_unique<OracleDetector>(
-                DetectorSpec::ZeroOAC(cst),
-                std::make_unique<SpuriousPolicy>(0.3, cst, seed * 7)),
-            std::make_unique<EcfAdversary>(ecf),
-            std::make_unique<NoFailures>());
-        const RunSummary s =
-            run_consensus(std::move(world), cst + 6 * bound + 40);
-        if (!s.verdict.solved()) {
-          all_ok = false;
-          continue;
-        }
-        after.add(static_cast<double>(s.rounds_after_cst));
-      }
-      const bool ok = !after.empty() && after.max() <= bound;
-      all_ok = all_ok && ok;
-      table.add(num_values, ceil_log2(num_values), n, after.count(),
-                static_cast<std::uint64_t>(after.max()), after.mean(), bound,
-                ok);
-    }
+  for (const CellAggregate& cell : cells) {
+    const Round bound =
+        Alg2Algorithm::round_bound_after_cst(cell.spec.num_values);
+    const bool ok = cell.solved == cell.runs &&
+                    !cell.rounds_after_cst.empty() &&
+                    cell.rounds_after_cst.max() <= bound;
+    all_ok = all_ok && ok;
+    table.add(cell.spec.num_values, ceil_log2(cell.spec.num_values),
+              cell.spec.n, cell.spec.cst_target, cell.solved,
+              cell.rounds_after_cst.empty()
+                  ? std::string("-")
+                  : std::to_string(
+                        static_cast<Round>(cell.rounds_after_cst.max())),
+              cell.rounds_after_cst.empty() ? 0.0
+                                            : cell.rounds_after_cst.mean(),
+              bound, ok);
   }
   table.print(std::cout);
   std::cout << (all_ok ? "\nRESULT: Theorem 2 logarithmic bound holds; +2 "

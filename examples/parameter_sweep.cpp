@@ -1,0 +1,52 @@
+// Example: driving the exp/ experiment-orchestration engine from code.
+//
+// Builds an ad-hoc grid -- two algorithms crossed with two detector
+// classes and two network adversaries -- runs every cell in parallel, and
+// reads the per-cell aggregates.  The same grid is reachable from the
+// command line:
+//
+//   ccd_sweep --algs alg1,alg2 --detectors maj-oac,zero-oac
+//       --losses ecf,prob --n 8 --values 64 --csts 6 --seeds 5
+#include <iostream>
+
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
+
+int main() {
+  using namespace ccd;
+  using namespace ccd::exp;
+
+  SweepGrid grid;
+  grid.algs = {AlgKind::kAlg1, AlgKind::kAlg2};
+  grid.detectors = {DetectorKind::kMajOAC, DetectorKind::kZeroOAC};
+  grid.losses = {LossKind::kEcf, LossKind::kProbabilistic};
+  grid.base.n = 8;
+  grid.base.num_values = 64;
+  grid.base.cst_target = 6;
+  grid.seeds_per_cell = 5;
+  grid.grid_seed = 7;
+
+  std::cout << "Running " << grid.num_cells() << " cells x "
+            << grid.seeds_per_cell << " seeds...\n\n";
+
+  // Every ScenarioSpec is serializable; grids and reports are
+  // self-describing on disk.
+  std::cout << "cell 0 spec: " << grid.spec_for_cell(0).to_json() << "\n\n";
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  const auto records = run_sweep(grid, options);
+  const auto cells = aggregate(grid, records);
+
+  print_summary(std::cout, grid, cells);
+
+  // Aggregates are plain data -- pick out whatever the experiment needs.
+  std::cout << "\nAlgorithm 1 under its own class (maj-<>AC + ECF) decided "
+            << "in mean round "
+            << (cells[0].decision_round.empty()
+                    ? 0.0
+                    : cells[0].decision_round.mean())
+            << "\n";
+  return 0;
+}

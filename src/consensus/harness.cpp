@@ -10,6 +10,9 @@ std::vector<Value> random_initial_values(std::size_t n,
                                          std::uint64_t num_values,
                                          std::uint64_t seed) {
   Rng rng(seed);
+  // |V| = 0 is meaningless; treat it as the singleton value set rather
+  // than handing Rng::below an empty range.
+  if (num_values == 0) num_values = 1;
   std::vector<Value> values(n);
   for (Value& v : values) v = rng.below(num_values);
   return values;
@@ -57,8 +60,14 @@ World make_world(const ConsensusAlgorithm& algorithm,
 RunSummary run_consensus(World world, Round max_rounds,
                          ExecutorOptions options) {
   RunSummary summary;
-  summary.cst = world.cst();
+  // Degenerate worlds (n = 0, missing components, everyone crashed in the
+  // opening round) are legal inputs: the Executor substitutes neutral
+  // components and exits empty worlds immediately, and the checker treats
+  // a world with no correct process as vacuously terminated.  CST is read
+  // AFTER construction so it reflects the substituted components (NoLoss
+  // has r_cf = 1; a null loss slot would otherwise read as "never").
   Executor executor(std::move(world), options);
+  summary.cst = executor.world().cst();
   summary.result = executor.run(max_rounds);
   summary.verdict =
       check_consensus(executor.log(), executor.world().initial_values);

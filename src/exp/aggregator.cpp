@@ -1,0 +1,203 @@
+#include "exp/aggregator.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace ccd::exp {
+
+namespace {
+
+// One fixed numeric format everywhere so reports are diffable and the
+// thread-invariance guarantee extends to the rendered bytes.
+std::string fmt(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", d);
+  return buf;
+}
+
+void append_stats_json(std::string& out, const char* key, const Stats& s) {
+  out += "\"";
+  out += key;
+  out += "\":";
+  if (s.empty()) {
+    out += "null";
+    return;
+  }
+  out += "{\"count\":" + std::to_string(s.count());
+  out += ",\"min\":" + fmt(s.min());
+  out += ",\"mean\":" + fmt(s.mean());
+  out += ",\"p50\":" + fmt(s.percentile(50));
+  out += ",\"p99\":" + fmt(s.percentile(99));
+  out += ",\"max\":" + fmt(s.max());
+  out += "}";
+}
+
+// (append-style throughout: chained std::string operator+ trips a GCC 12
+// -Wrestrict false positive in optimized builds)
+void append_stats_csv(std::string& out, const Stats& s) {
+  if (s.empty()) {
+    out += ",,,,";  // min,mean,p50,p99,max all empty
+    return;
+  }
+  out += fmt(s.min());
+  out += ",";
+  out += fmt(s.mean());
+  out += ",";
+  out += fmt(s.percentile(50));
+  out += ",";
+  out += fmt(s.percentile(99));
+  out += ",";
+  out += fmt(s.max());
+}
+
+}  // namespace
+
+std::vector<CellAggregate> aggregate(const SweepGrid& grid,
+                                     const std::vector<RunRecord>& records) {
+  std::vector<CellAggregate> cells(grid.num_cells());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    cells[c].cell_index = c;
+    cells[c].spec = grid.spec_for_cell(c);
+  }
+  for (const RunRecord& r : records) {
+    CellAggregate& cell = cells.at(r.cell_index);
+    const ConsensusVerdict& v = r.summary.verdict;
+    ++cell.runs;
+    if (v.solved()) ++cell.solved;
+    if (!v.agreement) ++cell.agreement_failures;
+    if (!v.strong_validity || !v.uniform_validity) ++cell.validity_failures;
+    if (!v.termination) ++cell.termination_failures;
+    cell.crashed_processes += r.summary.result.num_crashed;
+    cell.rounds_executed.add(
+        static_cast<double>(r.summary.result.rounds_executed));
+    if (v.solved()) {
+      cell.decision_round.add(static_cast<double>(v.last_decision_round));
+      if (r.summary.cst != kNeverRound) {
+        cell.rounds_after_cst.add(
+            static_cast<double>(r.summary.rounds_after_cst));
+      }
+    }
+  }
+  return cells;
+}
+
+std::string aggregates_to_json(const SweepGrid& grid,
+                               const std::vector<CellAggregate>& cells) {
+  std::string out = "{";
+  out += "\"grid_seed\":" + std::to_string(grid.grid_seed);
+  out += ",\"seeds_per_cell\":" + std::to_string(grid.seeds_per_cell);
+  out += ",\"num_cells\":" + std::to_string(grid.num_cells());
+  out += ",\"num_runs\":" + std::to_string(grid.num_runs());
+  out += ",\"cells\":[";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellAggregate& cell = cells[c];
+    if (c > 0) out += ",";
+    out += "{\"cell\":" + std::to_string(cell.cell_index);
+    out += ",\"spec\":" + cell.spec.cell_key();
+    out += ",\"runs\":" + std::to_string(cell.runs);
+    out += ",\"solved\":" + std::to_string(cell.solved);
+    out += ",\"agreement_failures\":" +
+           std::to_string(cell.agreement_failures);
+    out += ",\"validity_failures\":" + std::to_string(cell.validity_failures);
+    out += ",\"termination_failures\":" +
+           std::to_string(cell.termination_failures);
+    out += ",\"crashed_processes\":" + std::to_string(cell.crashed_processes);
+    out += ",";
+    append_stats_json(out, "decision_round", cell.decision_round);
+    out += ",";
+    append_stats_json(out, "rounds_after_cst", cell.rounds_after_cst);
+    out += ",";
+    append_stats_json(out, "rounds_executed", cell.rounds_executed);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string aggregates_to_csv(const std::vector<CellAggregate>& cells) {
+  std::string out =
+      "cell,alg,detector,policy,cm,loss,fault,n,num_values,cst_target,"
+      "runs,solved,agreement_failures,validity_failures,"
+      "termination_failures,crashed_processes,"
+      "decision_min,decision_mean,decision_p50,decision_p99,decision_max,"
+      "after_cst_min,after_cst_mean,after_cst_p50,after_cst_p99,"
+      "after_cst_max\n";
+  for (const CellAggregate& cell : cells) {
+    const ScenarioSpec& s = cell.spec;
+    out += std::to_string(cell.cell_index);
+    out += ",";
+    out += to_string(s.alg);
+    out += ",";
+    out += to_string(s.detector);
+    out += ",";
+    out += to_string(s.policy);
+    out += ",";
+    out += to_string(s.cm);
+    out += ",";
+    out += to_string(s.loss);
+    out += ",";
+    out += to_string(s.fault);
+    for (std::uint64_t v :
+         {static_cast<std::uint64_t>(s.n), s.num_values,
+          static_cast<std::uint64_t>(s.cst_target),
+          static_cast<std::uint64_t>(cell.runs),
+          static_cast<std::uint64_t>(cell.solved),
+          static_cast<std::uint64_t>(cell.agreement_failures),
+          static_cast<std::uint64_t>(cell.validity_failures),
+          static_cast<std::uint64_t>(cell.termination_failures),
+          static_cast<std::uint64_t>(cell.crashed_processes)}) {
+      out += ",";
+      out += std::to_string(v);
+    }
+    out += ",";
+    append_stats_csv(out, cell.decision_round);
+    out += ",";
+    append_stats_csv(out, cell.rounds_after_cst);
+    out += "\n";
+  }
+  return out;
+}
+
+void print_summary(std::ostream& os, const SweepGrid& grid,
+                   const std::vector<CellAggregate>& cells) {
+  std::size_t runs = 0, solved = 0, agreement = 0, validity = 0,
+              termination = 0;
+  for (const CellAggregate& cell : cells) {
+    runs += cell.runs;
+    solved += cell.solved;
+    agreement += cell.agreement_failures;
+    validity += cell.validity_failures;
+    termination += cell.termination_failures;
+  }
+  os << "grid: " << cells.size() << " cells x " << grid.seeds_per_cell
+     << " seeds = " << runs << " runs (grid_seed " << grid.grid_seed
+     << ")\n";
+  os << "solved " << solved << "/" << runs << "; failures: agreement "
+     << agreement << ", validity " << validity << ", termination "
+     << termination << "\n\n";
+
+  AsciiTable table({"cell", "alg", "detector", "cm", "loss", "n", "solved",
+                    "agree-fail", "decide-mean", "after-CST max"});
+  for (const CellAggregate& cell : cells) {
+    // Keep the table scannable for big grids: print only imperfect cells
+    // unless the grid is small.
+    const bool perfect =
+        cell.solved == cell.runs && cell.agreement_failures == 0;
+    if (cells.size() > 24 && perfect) continue;
+    table.add(cell.cell_index, to_string(cell.spec.alg),
+              to_string(cell.spec.detector), to_string(cell.spec.cm),
+              to_string(cell.spec.loss), cell.spec.n,
+              std::to_string(cell.solved) + "/" + std::to_string(cell.runs),
+              cell.agreement_failures,
+              cell.decision_round.empty() ? std::string("-")
+                                          : fmt(cell.decision_round.mean()),
+              cell.rounds_after_cst.empty()
+                  ? std::string("-")
+                  : fmt(cell.rounds_after_cst.max()));
+  }
+  table.print(os);
+}
+
+}  // namespace ccd::exp

@@ -1,0 +1,48 @@
+// Aggregator: reduce per-run RunSummaries into per-cell statistics and
+// render them as JSON, CSV, or an ASCII summary table.
+//
+// Aggregation is a serial fold over records in run-index order, so its
+// output is a pure function of the grid and grid seed: byte-identical no
+// matter how many threads produced the records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/sweep_runner.hpp"
+#include "util/stats.hpp"
+
+namespace ccd::exp {
+
+struct CellAggregate {
+  std::size_t cell_index = 0;
+  ScenarioSpec spec;  ///< cell identity (seed = 0)
+
+  std::size_t runs = 0;
+  std::size_t solved = 0;  ///< verdict.solved(): safe + live
+  std::size_t agreement_failures = 0;
+  std::size_t validity_failures = 0;   ///< strong or uniform validity broken
+  std::size_t termination_failures = 0;
+  std::size_t crashed_processes = 0;   ///< total over runs
+
+  Stats decision_round;    ///< last decision round, solved runs only
+  Stats rounds_after_cst;  ///< solved runs in worlds with a finite CST
+  Stats rounds_executed;   ///< all runs
+};
+
+std::vector<CellAggregate> aggregate(const SweepGrid& grid,
+                                     const std::vector<RunRecord>& records);
+
+/// Deterministic JSON report: grid metadata + one object per cell.
+std::string aggregates_to_json(const SweepGrid& grid,
+                               const std::vector<CellAggregate>& cells);
+
+/// Flat CSV, one row per cell; header first.
+std::string aggregates_to_csv(const std::vector<CellAggregate>& cells);
+
+/// Human-oriented summary (AsciiTable) of the worst cells plus totals.
+void print_summary(std::ostream& os, const SweepGrid& grid,
+                   const std::vector<CellAggregate>& cells);
+
+}  // namespace ccd::exp

@@ -1,0 +1,339 @@
+#include "exp/scenario_spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace ccd::exp {
+
+namespace {
+
+template <typename E>
+std::optional<E> parse_enum(const std::string& s,
+                            std::initializer_list<E> all) {
+  for (E e : all) {
+    if (s == to_string(e)) return e;
+  }
+  return std::nullopt;
+}
+
+// Shortest %g form that strtod parses back to the same double: try
+// increasing precision until the round trip is exact.  Keeps the JSON both
+// readable ("0.5", not "0.50000000000000000") and lossless.
+std::string format_double(double d) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+// --- minimal flat-JSON scanner ---------------------------------------------
+// Accepts one object of string/number members; no nesting, no arrays.  That
+// is all a ScenarioSpec ever serializes to, and keeping the parser tiny
+// beats pulling in a JSON dependency the container may not have.
+struct FlatJson {
+  std::map<std::string, std::string> members;  // raw value text (unquoted)
+
+  static std::optional<FlatJson> parse(const std::string& text) {
+    FlatJson out;
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    };
+    auto parse_string = [&]() -> std::optional<std::string> {
+      if (i >= text.size() || text[i] != '"') return std::nullopt;
+      ++i;
+      std::string s;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;  // unescape
+        s += text[i++];
+      }
+      if (i >= text.size()) return std::nullopt;
+      ++i;  // closing quote
+      return s;
+    };
+    skip_ws();
+    if (i >= text.size() || text[i] != '{') return std::nullopt;
+    ++i;
+    // Reject trailing content after the object: a concatenated or
+    // corrupted record must not silently half-parse.
+    auto finish = [&]() -> std::optional<FlatJson> {
+      ++i;  // consume '}'
+      skip_ws();
+      if (i != text.size()) return std::nullopt;
+      return out;
+    };
+    skip_ws();
+    if (i < text.size() && text[i] == '}') return finish();  // empty object
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (i >= text.size() || text[i] != ':') return std::nullopt;
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '"') {
+        auto value = parse_string();
+        if (!value) return std::nullopt;
+        out.members[*key] = *value;
+      } else {
+        std::size_t start = i;
+        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+               !std::isspace(static_cast<unsigned char>(text[i]))) {
+          ++i;
+        }
+        if (i == start) return std::nullopt;
+        out.members[*key] = text.substr(start, i - start);
+      }
+      skip_ws();
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < text.size() && text[i] == '}') return finish();
+      return std::nullopt;
+    }
+  }
+
+  const std::string* find(const char* key) const {
+    auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace
+
+const char* to_string(AlgKind k) {
+  switch (k) {
+    case AlgKind::kAlg1: return "alg1";
+    case AlgKind::kAlg2: return "alg2";
+    case AlgKind::kAlg3: return "alg3";
+    case AlgKind::kAlg4: return "alg4";
+    case AlgKind::kNaive: return "naive";
+  }
+  return "?";
+}
+
+const char* to_string(DetectorKind k) {
+  switch (k) {
+    case DetectorKind::kAC: return "ac";
+    case DetectorKind::kMajAC: return "maj-ac";
+    case DetectorKind::kHalfAC: return "half-ac";
+    case DetectorKind::kZeroAC: return "zero-ac";
+    case DetectorKind::kOAC: return "oac";
+    case DetectorKind::kMajOAC: return "maj-oac";
+    case DetectorKind::kHalfOAC: return "half-oac";
+    case DetectorKind::kZeroOAC: return "zero-oac";
+    case DetectorKind::kNoCd: return "nocd";
+    case DetectorKind::kNoAcc: return "noacc";
+  }
+  return "?";
+}
+
+const char* to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kTruthful: return "truthful";
+    case PolicyKind::kPreferNull: return "prefer-null";
+    case PolicyKind::kPreferCollision: return "prefer-collision";
+    case PolicyKind::kSpurious: return "spurious";
+    case PolicyKind::kFlakyMajority: return "flaky-majority";
+    case PolicyKind::kRandomLegal: return "random-legal";
+  }
+  return "?";
+}
+
+const char* to_string(CmKind k) {
+  switch (k) {
+    case CmKind::kNoCm: return "nocm";
+    case CmKind::kWakeup: return "wakeup";
+    case CmKind::kLeader: return "leader";
+    case CmKind::kBackoff: return "backoff";
+  }
+  return "?";
+}
+
+const char* to_string(LossKind k) {
+  switch (k) {
+    case LossKind::kNoLoss: return "noloss";
+    case LossKind::kEcf: return "ecf";
+    case LossKind::kProbabilistic: return "prob";
+    case LossKind::kUnrestricted: return "unrestricted";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kRandomCrash: return "random-crash";
+  }
+  return "?";
+}
+
+const char* to_string(InitKind k) {
+  switch (k) {
+    case InitKind::kRandom: return "random";
+    case InitKind::kSplit: return "split";
+    case InitKind::kAllSame: return "same";
+  }
+  return "?";
+}
+
+const char* to_string(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kCalm: return "calm";
+    case ChaosKind::kChaotic: return "chaotic";
+  }
+  return "?";
+}
+
+std::optional<AlgKind> parse_alg(const std::string& s) {
+  return parse_enum(s, {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kAlg3,
+                        AlgKind::kAlg4, AlgKind::kNaive});
+}
+
+std::optional<DetectorKind> parse_detector(const std::string& s) {
+  return parse_enum(
+      s, {DetectorKind::kAC, DetectorKind::kMajAC, DetectorKind::kHalfAC,
+          DetectorKind::kZeroAC, DetectorKind::kOAC, DetectorKind::kMajOAC,
+          DetectorKind::kHalfOAC, DetectorKind::kZeroOAC, DetectorKind::kNoCd,
+          DetectorKind::kNoAcc});
+}
+
+std::optional<PolicyKind> parse_policy(const std::string& s) {
+  return parse_enum(s, {PolicyKind::kTruthful, PolicyKind::kPreferNull,
+                        PolicyKind::kPreferCollision, PolicyKind::kSpurious,
+                        PolicyKind::kFlakyMajority, PolicyKind::kRandomLegal});
+}
+
+std::optional<CmKind> parse_cm(const std::string& s) {
+  return parse_enum(
+      s, {CmKind::kNoCm, CmKind::kWakeup, CmKind::kLeader, CmKind::kBackoff});
+}
+
+std::optional<LossKind> parse_loss(const std::string& s) {
+  return parse_enum(s, {LossKind::kNoLoss, LossKind::kEcf,
+                        LossKind::kProbabilistic, LossKind::kUnrestricted});
+}
+
+std::optional<FaultKind> parse_fault(const std::string& s) {
+  return parse_enum(s, {FaultKind::kNone, FaultKind::kRandomCrash});
+}
+
+std::optional<InitKind> parse_init(const std::string& s) {
+  return parse_enum(s, {InitKind::kRandom, InitKind::kSplit,
+                        InitKind::kAllSame});
+}
+
+std::optional<ChaosKind> parse_chaos(const std::string& s) {
+  return parse_enum(s, {ChaosKind::kCalm, ChaosKind::kChaotic});
+}
+
+std::string ScenarioSpec::to_json() const {
+  std::string out = "{";
+  auto str = [&](const char* key, const char* value) {
+    out += "\"";
+    out += key;
+    out += "\":\"";
+    out += value;
+    out += "\",";
+  };
+  auto num = [&](const char* key, const std::string& value) {
+    out += "\"";
+    out += key;
+    out += "\":";
+    out += value;
+    out += ",";
+  };
+  str("alg", to_string(alg));
+  str("detector", to_string(detector));
+  str("policy", to_string(policy));
+  str("cm", to_string(cm));
+  str("loss", to_string(loss));
+  str("fault", to_string(fault));
+  str("init", to_string(init));
+  str("chaos", to_string(chaos));
+  num("n", std::to_string(n));
+  num("num_values", std::to_string(num_values));
+  num("cst_target", std::to_string(cst_target));
+  num("p_deliver", format_double(p_deliver));
+  num("spurious_p", format_double(spurious_p));
+  num("crash_p", format_double(crash_p));
+  num("max_rounds", std::to_string(max_rounds));
+  num("seed", std::to_string(seed));
+  out.back() = '}';
+  return out;
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json) {
+  auto flat = FlatJson::parse(json);
+  if (!flat) return std::nullopt;
+
+  ScenarioSpec spec;
+  bool ok = true;
+  auto read_enum = [&](const char* key, auto parse_fn, auto& field) {
+    const std::string* raw = flat->find(key);
+    if (!raw) return;  // absent members keep their default
+    auto parsed = parse_fn(*raw);
+    if (parsed) {
+      field = *parsed;
+    } else {
+      ok = false;
+    }
+  };
+  auto read_u64 = [&](const char* key, auto& field) {
+    const std::string* raw = flat->find(key);
+    if (!raw) return;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(raw->c_str(), &end, 10);
+    if (end && *end == '\0') {
+      field = static_cast<std::remove_reference_t<decltype(field)>>(v);
+    } else {
+      ok = false;
+    }
+  };
+  auto read_double = [&](const char* key, double& field) {
+    const std::string* raw = flat->find(key);
+    if (!raw) return;
+    char* end = nullptr;
+    const double v = std::strtod(raw->c_str(), &end);
+    if (end && *end == '\0') {
+      field = v;
+    } else {
+      ok = false;
+    }
+  };
+
+  read_enum("alg", parse_alg, spec.alg);
+  read_enum("detector", parse_detector, spec.detector);
+  read_enum("policy", parse_policy, spec.policy);
+  read_enum("cm", parse_cm, spec.cm);
+  read_enum("loss", parse_loss, spec.loss);
+  read_enum("fault", parse_fault, spec.fault);
+  read_enum("init", parse_init, spec.init);
+  read_enum("chaos", parse_chaos, spec.chaos);
+  read_u64("n", spec.n);
+  read_u64("num_values", spec.num_values);
+  read_u64("cst_target", spec.cst_target);
+  read_double("p_deliver", spec.p_deliver);
+  read_double("spurious_p", spec.spurious_p);
+  read_double("crash_p", spec.crash_p);
+  read_u64("max_rounds", spec.max_rounds);
+  read_u64("seed", spec.seed);
+
+  if (!ok) return std::nullopt;
+  return spec;
+}
+
+std::string ScenarioSpec::cell_key() const {
+  ScenarioSpec normalized = *this;
+  normalized.seed = 0;
+  return normalized.to_json();
+}
+
+}  // namespace ccd::exp

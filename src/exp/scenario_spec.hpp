@@ -1,0 +1,99 @@
+// ScenarioSpec: a declarative, serializable description of ONE simulation
+// run -- which algorithm, which detector class and advice policy, which
+// contention manager, loss and failure adversaries, how many processes,
+// which value space, where the stabilization point falls, and the run seed.
+//
+// Specs are plain data: the cross-product machinery (SweepGrid) enumerates
+// them, the WorldFactory materializes them into a World, and reports carry
+// them as the row identity.  Every spec round-trips through a flat JSON
+// object so grids and results are self-describing on disk.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "model/types.hpp"
+
+namespace ccd::exp {
+
+enum class AlgKind : std::uint8_t { kAlg1, kAlg2, kAlg3, kAlg4, kNaive };
+
+/// The eight Figure 1 classes plus the special classes (Section 5.3).
+enum class DetectorKind : std::uint8_t {
+  kAC, kMajAC, kHalfAC, kZeroAC,
+  kOAC, kMajOAC, kHalfOAC, kZeroOAC,
+  kNoCd, kNoAcc,
+};
+
+enum class PolicyKind : std::uint8_t {
+  kTruthful, kPreferNull, kPreferCollision, kSpurious, kFlakyMajority,
+  kRandomLegal,
+};
+
+enum class CmKind : std::uint8_t { kNoCm, kWakeup, kLeader, kBackoff };
+
+enum class LossKind : std::uint8_t {
+  kNoLoss, kEcf, kProbabilistic, kUnrestricted,
+};
+
+enum class FaultKind : std::uint8_t { kNone, kRandomCrash };
+
+enum class InitKind : std::uint8_t { kRandom, kSplit, kAllSame };
+
+/// Pre-CST environment shaping.  kCalm is the friendly setting (maximal
+/// contention advice, iid loss, all-deliver under contention); kChaotic is
+/// the adversarial setting the theorem benches use (random wake subsets,
+/// rotating post-CST activity, capture-effect loss).
+enum class ChaosKind : std::uint8_t { kCalm, kChaotic };
+
+const char* to_string(AlgKind k);
+const char* to_string(DetectorKind k);
+const char* to_string(PolicyKind k);
+const char* to_string(CmKind k);
+const char* to_string(LossKind k);
+const char* to_string(FaultKind k);
+const char* to_string(InitKind k);
+const char* to_string(ChaosKind k);
+
+std::optional<AlgKind> parse_alg(const std::string& s);
+std::optional<DetectorKind> parse_detector(const std::string& s);
+std::optional<PolicyKind> parse_policy(const std::string& s);
+std::optional<CmKind> parse_cm(const std::string& s);
+std::optional<LossKind> parse_loss(const std::string& s);
+std::optional<FaultKind> parse_fault(const std::string& s);
+std::optional<InitKind> parse_init(const std::string& s);
+std::optional<ChaosKind> parse_chaos(const std::string& s);
+
+struct ScenarioSpec {
+  AlgKind alg = AlgKind::kAlg1;
+  DetectorKind detector = DetectorKind::kMajOAC;
+  PolicyKind policy = PolicyKind::kTruthful;
+  CmKind cm = CmKind::kWakeup;
+  LossKind loss = LossKind::kEcf;
+  FaultKind fault = FaultKind::kNone;
+  InitKind init = InitKind::kRandom;
+  ChaosKind chaos = ChaosKind::kCalm;
+
+  std::uint32_t n = 8;             ///< process count
+  std::uint64_t num_values = 16;   ///< |V|
+  Round cst_target = 5;            ///< drives r_wake, r_cf and r_acc alike
+  double p_deliver = 0.5;          ///< delivery probability knob
+  double spurious_p = 0.4;         ///< false-positive rate (spurious/flaky)
+  double crash_p = 0.02;           ///< per-round crash probability
+  Round max_rounds = 0;            ///< 0 = derive from algorithm + cst
+  std::uint64_t seed = 1;          ///< run seed; all component RNG streams
+                                   ///< derive from it
+
+  /// Flat JSON object, stable key order; parse() inverts it exactly.
+  std::string to_json() const;
+  static std::optional<ScenarioSpec> from_json(const std::string& json);
+
+  /// Identity of the grid CELL this run belongs to: the spec with the seed
+  /// normalized out.  Equal cell keys = same parameter combination.
+  std::string cell_key() const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+}  // namespace ccd::exp

@@ -1,0 +1,133 @@
+#include "exp/sweep_grid.hpp"
+
+#include "util/rng.hpp"
+
+namespace ccd::exp {
+
+namespace {
+
+template <typename T>
+std::size_t radix(const std::vector<T>& axis) {
+  return axis.empty() ? 1 : axis.size();
+}
+
+/// Peel one mixed-radix digit off `index` and apply the axis value (if the
+/// axis is non-empty) to `field`.
+template <typename T, typename F>
+void apply_axis(std::size_t& index, const std::vector<T>& axis, F& field) {
+  const std::size_t r = radix(axis);
+  const std::size_t digit = index % r;
+  index /= r;
+  if (!axis.empty()) field = static_cast<F>(axis[digit]);
+}
+
+}  // namespace
+
+std::size_t SweepGrid::num_cells() const {
+  return radix(algs) * radix(detectors) * radix(policies) * radix(cms) *
+         radix(losses) * radix(faults) * radix(ns) * radix(value_spaces) *
+         radix(csts);
+}
+
+ScenarioSpec SweepGrid::spec_for_cell(std::size_t cell_index) const {
+  ScenarioSpec spec = base;
+  std::size_t index = cell_index;
+  // Innermost axis first; the order here fixes the enumeration order and is
+  // part of the on-disk cell numbering, so do not reorder casually.
+  apply_axis(index, csts, spec.cst_target);
+  apply_axis(index, value_spaces, spec.num_values);
+  apply_axis(index, ns, spec.n);
+  apply_axis(index, faults, spec.fault);
+  apply_axis(index, losses, spec.loss);
+  apply_axis(index, cms, spec.cm);
+  apply_axis(index, policies, spec.policy);
+  apply_axis(index, detectors, spec.detector);
+  apply_axis(index, algs, spec.alg);
+  spec.seed = 0;
+  return spec;
+}
+
+std::uint64_t SweepGrid::seed_for_run(std::size_t run_index) const {
+  return hash_mix(hash_mix(grid_seed) ^ static_cast<std::uint64_t>(run_index));
+}
+
+ScenarioSpec SweepGrid::spec_for_run(std::size_t run_index) const {
+  ScenarioSpec spec = spec_for_cell(cell_of_run(run_index));
+  spec.seed = seed_for_run(run_index);
+  return spec;
+}
+
+std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
+  SweepGrid grid;
+  if (name == "smoke") {
+    // Fast sanity product: every algorithm in its friendliest world.
+    grid.algs = {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kAlg4};
+    grid.detectors = {DetectorKind::kMajOAC};
+    grid.cms = {CmKind::kWakeup};
+    grid.losses = {LossKind::kEcf};
+    grid.ns = {4, 8};
+    grid.base.num_values = 16;
+    grid.base.cst_target = 5;
+    grid.seeds_per_cell = 3;
+    return grid;
+  }
+  if (name == "default") {
+    // The broad robustness product: 5 algs x 5 detector classes x 2 CMs x
+    // 3 loss adversaries = 150 cells.  Cells pairing an algorithm with a
+    // detector class weaker than its theorem requires are informative,
+    // not errors: the aggregator counts their property failures.
+    grid.algs = {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kAlg3,
+                 AlgKind::kAlg4, AlgKind::kNaive};
+    grid.detectors = {DetectorKind::kAC, DetectorKind::kMajOAC,
+                      DetectorKind::kZeroOAC, DetectorKind::kZeroAC,
+                      DetectorKind::kNoCd};
+    grid.cms = {CmKind::kWakeup, CmKind::kBackoff};
+    grid.losses = {LossKind::kEcf, LossKind::kProbabilistic,
+                   LossKind::kNoLoss};
+    grid.base.n = 8;
+    grid.base.num_values = 16;
+    grid.base.cst_target = 8;
+    grid.base.p_deliver = 0.6;
+    grid.seeds_per_cell = 2;
+    return grid;
+  }
+  if (name == "policies") {
+    // Detector-behaviour ablation (the bench_policy_ablation shape):
+    // behaviour inside a class envelope vs the class itself.
+    grid.algs = {AlgKind::kAlg1, AlgKind::kAlg2};
+    grid.detectors = {DetectorKind::kOAC, DetectorKind::kMajOAC,
+                      DetectorKind::kHalfOAC, DetectorKind::kZeroOAC};
+    grid.policies = {PolicyKind::kTruthful, PolicyKind::kPreferNull,
+                     PolicyKind::kPreferCollision, PolicyKind::kSpurious,
+                     PolicyKind::kFlakyMajority};
+    grid.cms = {CmKind::kWakeup};
+    grid.losses = {LossKind::kEcf};
+    grid.base.n = 8;
+    grid.base.num_values = 256;
+    grid.base.cst_target = 10;
+    grid.seeds_per_cell = 4;
+    return grid;
+  }
+  if (name == "crash") {
+    // Crash-failure sweep across algorithms and process counts.
+    grid.algs = {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kAlg4};
+    grid.detectors = {DetectorKind::kMajOAC, DetectorKind::kZeroOAC};
+    grid.cms = {CmKind::kWakeup};
+    grid.losses = {LossKind::kEcf};
+    grid.faults = {FaultKind::kNone, FaultKind::kRandomCrash};
+    grid.ns = {4, 8, 16, 32};
+    grid.base.num_values = 64;
+    grid.base.cst_target = 12;
+    grid.base.crash_p = 0.05;
+    grid.base.chaos = ChaosKind::kChaotic;
+    grid.seeds_per_cell = 4;
+    return grid;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> SweepGrid::grid_names() {
+  return {"smoke", "default", "policies", "crash"};
+}
+
+}  // namespace ccd::exp

@@ -1,0 +1,61 @@
+// SweepGrid: a declarative cross-product of scenario axes.
+//
+// A grid is a base ScenarioSpec plus one vector per sweepable axis; an
+// empty axis means "keep the base value".  Cells are enumerated in a fixed
+// mixed-radix order, each cell is run `seeds_per_cell` times, and every
+// run's seed derives deterministically from (grid_seed, run_index) -- so a
+// grid is a pure function from index to execution, independent of how the
+// runs are scheduled across threads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/scenario_spec.hpp"
+
+namespace ccd::exp {
+
+struct SweepGrid {
+  /// Non-axis fields (init kind, chaos, probabilities, max_rounds) are
+  /// taken from here for every cell.
+  ScenarioSpec base;
+
+  std::vector<AlgKind> algs;
+  std::vector<DetectorKind> detectors;
+  std::vector<PolicyKind> policies;
+  std::vector<CmKind> cms;
+  std::vector<LossKind> losses;
+  std::vector<FaultKind> faults;
+  std::vector<std::uint32_t> ns;
+  std::vector<std::uint64_t> value_spaces;
+  std::vector<Round> csts;
+
+  std::uint32_t seeds_per_cell = 1;
+  std::uint64_t grid_seed = 1;
+
+  std::size_t num_cells() const;
+  std::size_t num_runs() const { return num_cells() * seeds_per_cell; }
+
+  /// The fully materialized spec for one run (run_index < num_runs()).
+  ScenarioSpec spec_for_run(std::size_t run_index) const;
+
+  /// The spec for a cell with the seed left at 0 (the cell identity).
+  ScenarioSpec spec_for_cell(std::size_t cell_index) const;
+
+  std::size_t cell_of_run(std::size_t run_index) const {
+    return run_index / seeds_per_cell;
+  }
+
+  /// Deterministic per-run seed: hash(grid_seed, run_index).
+  std::uint64_t seed_for_run(std::size_t run_index) const;
+
+  /// Built-in grids: "smoke" (fast sanity), "default" (the broad
+  /// alg x detector x cm x loss robustness product, 150 cells),
+  /// "policies" (detector-behaviour ablation), "crash" (failure sweep).
+  static std::optional<SweepGrid> named(const std::string& name);
+  static std::vector<std::string> grid_names();
+};
+
+}  // namespace ccd::exp

@@ -1,0 +1,59 @@
+#include "exp/sweep_runner.hpp"
+
+#include <thread>
+
+#include "exp/world_factory.hpp"
+
+namespace ccd::exp {
+
+RunRecord run_one(const SweepGrid& grid, std::size_t run_index,
+                  bool record_views) {
+  RunRecord record;
+  record.run_index = run_index;
+  record.cell_index = grid.cell_of_run(run_index);
+  record.spec = grid.spec_for_run(run_index);
+  ExecutorOptions options;
+  options.record_views = record_views;
+  record.summary = run_consensus(WorldFactory::make(record.spec),
+                                 WorldFactory::max_rounds(record.spec),
+                                 options);
+  return record;
+}
+
+std::vector<RunRecord> run_sweep(const SweepGrid& grid,
+                                 const SweepOptions& options) {
+  const std::size_t total = grid.num_runs();
+  std::vector<RunRecord> records(total);
+  if (total == 0) return records;
+
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, total));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      records[i] = run_one(grid, i, options.record_views);
+      const std::size_t finished =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.progress) options.progress(finished, total);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+    return records;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return records;
+}
+
+}  // namespace ccd::exp

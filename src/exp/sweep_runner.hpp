@@ -1,0 +1,49 @@
+// SweepRunner: execute every run of a SweepGrid across a pool of worker
+// threads.
+//
+// Scheduling is a shared atomic work counter (each worker claims the next
+// unclaimed run index), which is work-stealing in effect: fast runs drain
+// more indices, a slow cell never stalls the pool.  Determinism does not
+// depend on scheduling at all -- each run's World derives every RNG stream
+// from hash(grid_seed, run_index), and results land in a pre-sized vector
+// slot owned by the run index -- so the full result vector is bit-identical
+// at any thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "consensus/harness.hpp"
+#include "exp/sweep_grid.hpp"
+
+namespace ccd::exp {
+
+struct RunRecord {
+  std::size_t run_index = 0;
+  std::size_t cell_index = 0;
+  ScenarioSpec spec;
+  RunSummary summary;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 1;
+  /// Skip per-round view recording (the checker only needs decisions and
+  /// crashes); large sweeps run several times faster without views.
+  bool record_views = false;
+  /// Invoked after each completed run with the number finished so far.
+  /// Called from worker threads; must be thread-safe.  May be empty.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Run the whole grid; returns one record per run, ordered by run_index.
+std::vector<RunRecord> run_sweep(const SweepGrid& grid,
+                                 const SweepOptions& options = {});
+
+/// Execute a single run of the grid (what each worker does per index).
+RunRecord run_one(const SweepGrid& grid, std::size_t run_index,
+                  bool record_views = false);
+
+}  // namespace ccd::exp

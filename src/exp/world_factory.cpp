@@ -1,0 +1,221 @@
+#include "exp/world_factory.hpp"
+
+#include <algorithm>
+
+#include "cd/oracle_detector.hpp"
+#include "cm/backoff_cm.hpp"
+#include "cm/leader_election.hpp"
+#include "cm/no_cm.hpp"
+#include "cm/wakeup_service.hpp"
+#include "consensus/alg1_maj_oac.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/alg3_zero_ac_nocf.hpp"
+#include "consensus/alg4_non_anonymous.hpp"
+#include "consensus/harness.hpp"
+#include "consensus/naive_no_cd.hpp"
+#include "net/ecf_adversary.hpp"
+#include "net/no_loss.hpp"
+#include "net/probabilistic_loss.hpp"
+#include "net/unrestricted_loss.hpp"
+#include "util/bitcodec.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::exp {
+
+namespace {
+
+// Per-component sub-seed streams.  Distinct salts keep the streams
+// independent; hash_mix makes neighbouring run seeds uncorrelated.
+constexpr std::uint64_t kCmSalt = 0x636d5f73656564ULL;      // "cm_seed"
+constexpr std::uint64_t kCdSalt = 0x63645f73656564ULL;      // "cd_seed"
+constexpr std::uint64_t kLossSalt = 0x6c6f73735f73ULL;      // "loss_s"
+constexpr std::uint64_t kFaultSalt = 0x6661756c745fULL;     // "fault_"
+constexpr std::uint64_t kInitSalt = 0x696e69745f73ULL;      // "init_s"
+
+std::uint64_t sub_seed(const ScenarioSpec& spec, std::uint64_t salt) {
+  return hash_mix(spec.seed ^ salt);
+}
+
+DetectorSpec detector_spec(const ScenarioSpec& spec) {
+  const Round r_acc = std::max<Round>(spec.cst_target, 1);
+  switch (spec.detector) {
+    case DetectorKind::kAC: return DetectorSpec::AC();
+    case DetectorKind::kMajAC: return DetectorSpec::MajAC();
+    case DetectorKind::kHalfAC: return DetectorSpec::HalfAC();
+    case DetectorKind::kZeroAC: return DetectorSpec::ZeroAC();
+    case DetectorKind::kOAC: return DetectorSpec::OAC(r_acc);
+    case DetectorKind::kMajOAC: return DetectorSpec::MajOAC(r_acc);
+    case DetectorKind::kHalfOAC: return DetectorSpec::HalfOAC(r_acc);
+    case DetectorKind::kZeroOAC: return DetectorSpec::ZeroOAC(r_acc);
+    case DetectorKind::kNoCd: return DetectorSpec::NoCD();
+    case DetectorKind::kNoAcc: return DetectorSpec::NoAcc();
+  }
+  return DetectorSpec::AC();
+}
+
+std::unique_ptr<AdvicePolicy> make_policy(const ScenarioSpec& spec) {
+  const std::uint64_t seed = sub_seed(spec, kCdSalt);
+  switch (spec.policy) {
+    case PolicyKind::kTruthful:
+      return make_truthful_policy();
+    case PolicyKind::kPreferNull:
+      return make_prefer_null_policy();
+    case PolicyKind::kPreferCollision:
+      return make_prefer_collision_policy();
+    case PolicyKind::kSpurious:
+      return std::make_unique<SpuriousPolicy>(
+          spec.spurious_p, std::max<Round>(spec.cst_target, 1), seed);
+    case PolicyKind::kFlakyMajority:
+      return std::make_unique<FlakyMajorityPolicy>(spec.spurious_p, seed);
+    case PolicyKind::kRandomLegal:
+      return std::make_unique<RandomLegalPolicy>(seed);
+  }
+  return make_truthful_policy();
+}
+
+}  // namespace
+
+std::unique_ptr<ConsensusAlgorithm> WorldFactory::make_algorithm(
+    const ScenarioSpec& spec) {
+  switch (spec.alg) {
+    case AlgKind::kAlg1:
+      return std::make_unique<Alg1Algorithm>();
+    case AlgKind::kAlg2:
+      return std::make_unique<Alg2Algorithm>(spec.num_values);
+    case AlgKind::kAlg3:
+      return std::make_unique<Alg3Algorithm>(spec.num_values);
+    case AlgKind::kAlg4:
+      return std::make_unique<Alg4Algorithm>(
+          spec.num_values,
+          /*id_space_size=*/std::max<std::uint64_t>(64, 2 * spec.n));
+    case AlgKind::kNaive:
+      return std::make_unique<NaiveNoCdAlgorithm>(
+          /*patience=*/spec.cst_target + 8);
+  }
+  return std::make_unique<Alg1Algorithm>();
+}
+
+std::unique_ptr<ContentionManager> WorldFactory::make_cm(
+    const ScenarioSpec& spec) {
+  switch (spec.cm) {
+    case CmKind::kNoCm:
+      return std::make_unique<NoCm>();
+    case CmKind::kWakeup: {
+      WakeupService::Options ws;
+      ws.r_wake = std::max<Round>(spec.cst_target, 1);
+      ws.seed = sub_seed(spec, kCmSalt);
+      if (spec.chaos == ChaosKind::kChaotic) {
+        ws.pre = WakeupService::PreStabilization::kRandomSubset;
+        ws.post = WakeupService::PostStabilization::kRotateAlive;
+      }
+      return std::make_unique<WakeupService>(ws);
+    }
+    case CmKind::kLeader: {
+      LeaderElectionService::Options ls;
+      ls.r_lead = std::max<Round>(spec.cst_target, 1);
+      return std::make_unique<LeaderElectionService>(ls);
+    }
+    case CmKind::kBackoff: {
+      BackoffCm::Options bo;
+      bo.seed = sub_seed(spec, kCmSalt);
+      return std::make_unique<BackoffCm>(bo);
+    }
+  }
+  return std::make_unique<NoCm>();
+}
+
+std::unique_ptr<OracleDetector> WorldFactory::make_detector(
+    const ScenarioSpec& spec) {
+  return std::make_unique<OracleDetector>(detector_spec(spec),
+                                          make_policy(spec));
+}
+
+std::unique_ptr<LossAdversary> WorldFactory::make_loss(
+    const ScenarioSpec& spec) {
+  const std::uint64_t seed = sub_seed(spec, kLossSalt);
+  switch (spec.loss) {
+    case LossKind::kNoLoss:
+      return std::make_unique<NoLoss>();
+    case LossKind::kEcf: {
+      EcfAdversary::Options ecf;
+      ecf.r_cf = std::max<Round>(spec.cst_target, 1);
+      ecf.p_deliver = spec.p_deliver;
+      ecf.seed = seed;
+      if (spec.chaos == ChaosKind::kChaotic) {
+        ecf.pre = EcfAdversary::PreMode::kCapture;
+        ecf.contention = EcfAdversary::ContentionMode::kCapture;
+      } else {
+        ecf.pre = EcfAdversary::PreMode::kRandom;
+        ecf.contention = EcfAdversary::ContentionMode::kDeliverAll;
+      }
+      return std::make_unique<EcfAdversary>(ecf);
+    }
+    case LossKind::kProbabilistic: {
+      ProbabilisticLoss::Options opts;
+      opts.p_deliver = spec.p_deliver;
+      opts.r_cf = kNeverRound;
+      opts.seed = seed;
+      return std::make_unique<ProbabilisticLoss>(opts);
+    }
+    case LossKind::kUnrestricted: {
+      UnrestrictedLoss::Options opts;
+      opts.seed = seed;
+      return std::make_unique<UnrestrictedLoss>(opts);
+    }
+  }
+  return std::make_unique<NoLoss>();
+}
+
+std::unique_ptr<FailureAdversary> WorldFactory::make_fault(
+    const ScenarioSpec& spec) {
+  switch (spec.fault) {
+    case FaultKind::kNone:
+      return std::make_unique<NoFailures>();
+    case FaultKind::kRandomCrash: {
+      RandomCrash::Options opts;
+      opts.p = spec.crash_p;
+      opts.stop_after = spec.cst_target;
+      // Never crash everyone: keep at least one survivor so termination
+      // remains observable.
+      opts.max_crashes = spec.n > 0 ? spec.n - 1 : 0;
+      opts.seed = sub_seed(spec, kFaultSalt);
+      return std::make_unique<RandomCrash>(opts);
+    }
+  }
+  return std::make_unique<NoFailures>();
+}
+
+std::vector<Value> WorldFactory::make_initial_values(
+    const ScenarioSpec& spec) {
+  switch (spec.init) {
+    case InitKind::kRandom:
+      return random_initial_values(spec.n, spec.num_values,
+                                   sub_seed(spec, kInitSalt));
+    case InitKind::kSplit:
+      return split_initial_values(spec.n, 0,
+                                  spec.num_values > 1 ? spec.num_values - 1
+                                                      : 0);
+    case InitKind::kAllSame:
+      return std::vector<Value>(spec.n,
+                                spec.num_values > 1 ? spec.num_values - 1 : 0);
+  }
+  return std::vector<Value>(spec.n, 0);
+}
+
+Round WorldFactory::max_rounds(const ScenarioSpec& spec) {
+  if (spec.max_rounds > 0) return spec.max_rounds;
+  // Every upper bound in the paper is CST + O(lg|V|); Algorithm 3 needs
+  // O(lg|V|) per crash on top.  A 40x slack absorbs chaotic pre-CST phases
+  // and keeps never-terminating cells (NoCD, naive) cheap to simulate.
+  const Round lg = ceil_log2(std::max<std::uint64_t>(spec.num_values, 2));
+  return spec.cst_target + 100 + 40 * (lg + 1);
+}
+
+World WorldFactory::make(const ScenarioSpec& spec) {
+  auto algorithm = make_algorithm(spec);
+  return ccd::make_world(*algorithm, make_initial_values(spec), make_cm(spec),
+                         make_detector(spec), make_loss(spec),
+                         make_fault(spec));
+}
+
+}  // namespace ccd::exp

@@ -1,0 +1,42 @@
+// WorldFactory: materialize a World (Definition 10's "system") from a
+// ScenarioSpec.  This is the single place where algorithm / detector /
+// contention-manager / adversary objects are constructed for experiments;
+// the benches and examples used to each hand-roll this wiring.
+//
+// Determinism contract: everything stochastic in the produced World derives
+// from spec.seed through fixed per-component streams (hash_mix with
+// distinct salts), so the same spec always yields the same execution --
+// independent of which thread of a sweep builds and runs it.
+#pragma once
+
+#include <memory>
+
+#include "exp/scenario_spec.hpp"
+#include "model/process.hpp"
+#include "sim/world.hpp"
+
+namespace ccd::exp {
+
+class WorldFactory {
+ public:
+  /// Build the full system for a spec.
+  static World make(const ScenarioSpec& spec);
+
+  /// The individual component factories, exposed so callers can assemble
+  /// hybrid worlds (e.g. a bench substituting its own adversary).
+  static std::unique_ptr<ConsensusAlgorithm> make_algorithm(
+      const ScenarioSpec& spec);
+  static std::unique_ptr<ContentionManager> make_cm(const ScenarioSpec& spec);
+  static std::unique_ptr<OracleDetector> make_detector(
+      const ScenarioSpec& spec);
+  static std::unique_ptr<LossAdversary> make_loss(const ScenarioSpec& spec);
+  static std::unique_ptr<FailureAdversary> make_fault(
+      const ScenarioSpec& spec);
+  static std::vector<Value> make_initial_values(const ScenarioSpec& spec);
+
+  /// Round budget for a run: spec.max_rounds when set, otherwise a bound
+  /// generous enough for every algorithm at this |V| and CST.
+  static Round max_rounds(const ScenarioSpec& spec);
+};
+
+}  // namespace ccd::exp

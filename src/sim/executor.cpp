@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cm/no_cm.hpp"
+#include "net/no_loss.hpp"
+
 namespace ccd {
 
 Executor::Executor(World world, ExecutorOptions options)
@@ -11,7 +14,17 @@ Executor::Executor(World world, ExecutorOptions options)
       log_(world_.size(), options.record_views) {
   const std::size_t n = world_.size();
   assert(world_.initial_values.size() == n);
-  assert(world_.cm && world_.cd && world_.loss && world_.fault);
+  // Degenerate-world robustness: a caller-assembled World may omit
+  // components.  Substitute the neutral element for each rather than
+  // dereferencing null mid-round: NoCM (everyone active), the NoCD
+  // detector (no information), a perfect channel, no failures.
+  if (!world_.cm) world_.cm = std::make_unique<NoCm>();
+  if (!world_.cd) {
+    world_.cd = std::make_unique<OracleDetector>(DetectorSpec::NoCD(),
+                                                 make_truthful_policy());
+  }
+  if (!world_.loss) world_.loss = std::make_unique<NoLoss>();
+  if (!world_.fault) world_.fault = std::make_unique<NoFailures>();
   alive_.assign(n, true);
   decided_value_.assign(n, kNoValue);
   for (std::size_t i = 0; i < n; ++i) {
@@ -137,6 +150,13 @@ void Executor::step() {
 
 RunResult Executor::run(Round max_rounds) {
   RunResult result;
+  // n = 0: no process can ever send, decide or crash; every consensus
+  // property holds vacuously.  Return instead of spinning max_rounds empty
+  // rounds (which callers with stop_when_all_decided = false would hit).
+  if (world_.size() == 0) {
+    result.all_correct_decided = true;
+    return result;
+  }
   while (round_ < max_rounds) {
     if (options_.stop_when_all_decided && all_correct_decided()) break;
     step();

@@ -33,6 +33,65 @@ World ecf_world(const ConsensusAlgorithm& alg, std::vector<Value> initials,
                     std::make_unique<EcfAdversary>(ecf), std::move(fault));
 }
 
+TEST(EdgeCases, EmptyWorldIsVacuouslySolved) {
+  // n = 0: no sends, no decisions, no crashes; every property holds
+  // vacuously and run_consensus returns without executing a round.
+  Alg1Algorithm alg;
+  auto s = run_consensus(ecf_world(alg, {}, std::make_unique<NoFailures>()),
+                         100);
+  EXPECT_TRUE(s.result.all_correct_decided);
+  EXPECT_EQ(s.result.rounds_executed, 0u);
+  EXPECT_TRUE(s.verdict.agreement);
+  EXPECT_TRUE(s.verdict.termination);
+  EXPECT_TRUE(s.verdict.decided_values.empty());
+}
+
+TEST(EdgeCases, EmptyWorldWithoutEarlyStopDoesNotSpin) {
+  Alg2Algorithm alg(16);
+  ExecutorOptions options;
+  options.stop_when_all_decided = false;
+  auto s = run_consensus(ecf_world(alg, {}, std::make_unique<NoFailures>()),
+                         1000, options);
+  EXPECT_EQ(s.result.rounds_executed, 0u);
+  EXPECT_TRUE(s.verdict.termination);
+}
+
+TEST(EdgeCases, WorldWithMissingComponentsGetsNeutralDefaults) {
+  // A caller-assembled World may omit components; the Executor substitutes
+  // NoCM / NoCD / NoLoss / NoFailures instead of dereferencing null.
+  Alg1Algorithm alg;
+  World world;
+  world.processes = instantiate(alg, {3, 3});
+  world.initial_values = {3, 3};
+  // cm, cd, loss, fault all left null.
+  auto s = run_consensus(std::move(world), 50);
+  EXPECT_TRUE(s.verdict.agreement);
+  EXPECT_TRUE(s.verdict.strong_validity);
+  // With the NoCD default the detector reports +- forever, so Algorithm 1
+  // never passes a veto round: safety intact, no termination.
+  EXPECT_FALSE(s.verdict.termination);
+}
+
+TEST(EdgeCases, EveryProcessCrashesInOpeningRound) {
+  // All crash before their first send: nobody ever broadcasts or decides.
+  // Termination is vacuous (no correct process), safety holds, and the run
+  // stops immediately instead of burning max_rounds.
+  Alg1Algorithm alg;
+  std::vector<CrashEvent> events;
+  for (ProcessId i = 0; i < 4; ++i) {
+    events.push_back({1, i, CrashPoint::kBeforeSend});
+  }
+  auto s = run_consensus(
+      ecf_world(alg, random_initial_values(4, 8, 2),
+                std::make_unique<ScheduledCrash>(events)),
+      500);
+  EXPECT_EQ(s.result.num_crashed, 4u);
+  EXPECT_TRUE(s.verdict.agreement);
+  EXPECT_TRUE(s.verdict.termination);  // vacuous: no correct process
+  EXPECT_TRUE(s.verdict.decided_values.empty());
+  EXPECT_LE(s.result.rounds_executed, 2u);
+}
+
 TEST(EdgeCases, SingleProcessEveryAlgorithm) {
   // n = 1: a lone device must still decide its own value.
   {

@@ -1,0 +1,263 @@
+// Tests for the experiment-orchestration engine: spec serialization,
+// grid enumeration, factory determinism, and -- the core guarantee --
+// thread-count invariance of sweep results.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
+#include "exp/world_factory.hpp"
+
+namespace ccd::exp {
+namespace {
+
+ScenarioSpec exotic_spec() {
+  ScenarioSpec spec;
+  spec.alg = AlgKind::kAlg3;
+  spec.detector = DetectorKind::kZeroAC;
+  spec.policy = PolicyKind::kFlakyMajority;
+  spec.cm = CmKind::kNoCm;
+  spec.loss = LossKind::kUnrestricted;
+  spec.fault = FaultKind::kRandomCrash;
+  spec.init = InitKind::kSplit;
+  spec.chaos = ChaosKind::kChaotic;
+  spec.n = 33;
+  spec.num_values = (1ull << 40) + 17;
+  spec.cst_target = 123;
+  spec.p_deliver = 0.125;
+  spec.spurious_p = 0.9;
+  spec.crash_p = 1.0 / 3.0;  // not exactly representable: stress formatting
+  spec.max_rounds = 4096;
+  spec.seed = 0xdeadbeefcafeULL;
+  return spec;
+}
+
+TEST(ScenarioSpecJson, DefaultRoundTrips) {
+  const ScenarioSpec spec;
+  auto parsed = ScenarioSpec::from_json(spec.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(spec, *parsed);
+}
+
+TEST(ScenarioSpecJson, ExoticRoundTrips) {
+  const ScenarioSpec spec = exotic_spec();
+  auto parsed = ScenarioSpec::from_json(spec.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(spec, *parsed);
+}
+
+TEST(ScenarioSpecJson, EveryEnumValueRoundTrips) {
+  ScenarioSpec spec;
+  for (auto a : {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kAlg3,
+                 AlgKind::kAlg4, AlgKind::kNaive}) {
+    for (auto d : {DetectorKind::kAC, DetectorKind::kMajAC,
+                   DetectorKind::kHalfAC, DetectorKind::kZeroAC,
+                   DetectorKind::kOAC, DetectorKind::kMajOAC,
+                   DetectorKind::kHalfOAC, DetectorKind::kZeroOAC,
+                   DetectorKind::kNoCd, DetectorKind::kNoAcc}) {
+      spec.alg = a;
+      spec.detector = d;
+      auto parsed = ScenarioSpec::from_json(spec.to_json());
+      ASSERT_TRUE(parsed.has_value()) << spec.to_json();
+      EXPECT_EQ(spec, *parsed);
+    }
+  }
+  for (auto p : {PolicyKind::kTruthful, PolicyKind::kPreferNull,
+                 PolicyKind::kPreferCollision, PolicyKind::kSpurious,
+                 PolicyKind::kFlakyMajority, PolicyKind::kRandomLegal}) {
+    for (auto c : {CmKind::kNoCm, CmKind::kWakeup, CmKind::kLeader,
+                   CmKind::kBackoff}) {
+      for (auto l : {LossKind::kNoLoss, LossKind::kEcf,
+                     LossKind::kProbabilistic, LossKind::kUnrestricted}) {
+        spec.policy = p;
+        spec.cm = c;
+        spec.loss = l;
+        auto parsed = ScenarioSpec::from_json(spec.to_json());
+        ASSERT_TRUE(parsed.has_value()) << spec.to_json();
+        EXPECT_EQ(spec, *parsed);
+      }
+    }
+  }
+}
+
+TEST(ScenarioSpecJson, RejectsGarbage) {
+  EXPECT_FALSE(ScenarioSpec::from_json("").has_value());
+  EXPECT_FALSE(ScenarioSpec::from_json("not json").has_value());
+  EXPECT_FALSE(ScenarioSpec::from_json("{\"alg\":\"alg9\"}").has_value());
+  EXPECT_FALSE(ScenarioSpec::from_json("{\"n\":\"eight\"}").has_value());
+  EXPECT_FALSE(ScenarioSpec::from_json("{\"n\":8").has_value());
+  // Trailing content after the object must not silently half-parse.
+  EXPECT_FALSE(ScenarioSpec::from_json("{\"n\":8} junk").has_value());
+  EXPECT_FALSE(ScenarioSpec::from_json("{\"n\":8}{\"n\":16}").has_value());
+  EXPECT_TRUE(ScenarioSpec::from_json("  {\"n\":8}  ").has_value());
+}
+
+TEST(ScenarioSpecJson, CellKeyNormalizesSeed) {
+  ScenarioSpec a = exotic_spec();
+  ScenarioSpec b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(a.to_json(), b.to_json());
+  EXPECT_EQ(a.cell_key(), b.cell_key());
+}
+
+TEST(SweepGrid, EnumerationCoversTheProduct) {
+  SweepGrid grid;
+  grid.algs = {AlgKind::kAlg1, AlgKind::kAlg2};
+  grid.detectors = {DetectorKind::kMajOAC, DetectorKind::kZeroOAC,
+                    DetectorKind::kAC};
+  grid.ns = {2, 4};
+  grid.seeds_per_cell = 3;
+  EXPECT_EQ(grid.num_cells(), 12u);
+  EXPECT_EQ(grid.num_runs(), 36u);
+
+  std::set<std::string> cell_keys;
+  for (std::size_t c = 0; c < grid.num_cells(); ++c) {
+    cell_keys.insert(grid.spec_for_cell(c).cell_key());
+  }
+  EXPECT_EQ(cell_keys.size(), grid.num_cells());  // all distinct
+
+  std::set<std::uint64_t> run_seeds;
+  for (std::size_t r = 0; r < grid.num_runs(); ++r) {
+    const ScenarioSpec spec = grid.spec_for_run(r);
+    run_seeds.insert(spec.seed);
+    EXPECT_EQ(spec.cell_key(),
+              grid.spec_for_cell(grid.cell_of_run(r)).cell_key());
+  }
+  EXPECT_EQ(run_seeds.size(), grid.num_runs());  // per-run seeds distinct
+}
+
+TEST(SweepGrid, NamedGridsResolve) {
+  for (const std::string& name : SweepGrid::grid_names()) {
+    auto grid = SweepGrid::named(name);
+    ASSERT_TRUE(grid.has_value()) << name;
+    EXPECT_GT(grid->num_runs(), 0u) << name;
+  }
+  EXPECT_FALSE(SweepGrid::named("no-such-grid").has_value());
+}
+
+TEST(WorldFactory, SpecsRoundTripThroughJsonIntoIdenticalWorlds) {
+  // The factory is deterministic in the spec: building a world from a spec
+  // and from its JSON round-trip must produce identical executions.
+  ScenarioSpec spec;
+  spec.alg = AlgKind::kAlg2;
+  spec.detector = DetectorKind::kZeroOAC;
+  spec.cm = CmKind::kWakeup;
+  spec.loss = LossKind::kEcf;
+  spec.chaos = ChaosKind::kChaotic;
+  spec.n = 8;
+  spec.num_values = 64;
+  spec.cst_target = 7;
+  spec.seed = 99;
+
+  auto parsed = ScenarioSpec::from_json(spec.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(spec, *parsed);
+
+  const Round budget = WorldFactory::max_rounds(spec);
+  const RunSummary a = run_consensus(WorldFactory::make(spec), budget);
+  const RunSummary b = run_consensus(WorldFactory::make(*parsed), budget);
+  EXPECT_EQ(a.verdict.solved(), b.verdict.solved());
+  EXPECT_EQ(a.verdict.last_decision_round, b.verdict.last_decision_round);
+  EXPECT_EQ(a.result.rounds_executed, b.result.rounds_executed);
+  EXPECT_EQ(a.verdict.decided_values, b.verdict.decided_values);
+}
+
+TEST(WorldFactory, FriendlySpecSolves) {
+  ScenarioSpec spec;  // alg1, maj-oac, wakeup, ecf, calm
+  spec.cst_target = 4;
+  spec.seed = 5;
+  const RunSummary s = run_consensus(WorldFactory::make(spec),
+                                     WorldFactory::max_rounds(spec));
+  EXPECT_TRUE(s.verdict.solved());
+}
+
+SweepGrid invariance_grid() {
+  SweepGrid grid;
+  grid.algs = {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kNaive};
+  grid.detectors = {DetectorKind::kMajOAC, DetectorKind::kZeroOAC};
+  grid.losses = {LossKind::kEcf, LossKind::kProbabilistic};
+  grid.base.n = 6;
+  grid.base.num_values = 16;
+  grid.base.cst_target = 5;
+  grid.base.chaos = ChaosKind::kChaotic;
+  grid.seeds_per_cell = 2;
+  grid.grid_seed = 42;
+  return grid;
+}
+
+TEST(SweepRunner, ThreadCountInvariance) {
+  // The acceptance guarantee: same grid + grid seed => byte-identical
+  // aggregate JSON at 1, 2 and 8 threads.
+  const SweepGrid grid = invariance_grid();
+  std::string baseline;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SweepOptions options;
+    options.threads = threads;
+    const auto records = run_sweep(grid, options);
+    ASSERT_EQ(records.size(), grid.num_runs());
+    const std::string json = aggregates_to_json(grid, aggregate(grid, records));
+    if (threads == 1) {
+      baseline = json;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(json, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepRunner, RecordsCarryRunIdentity) {
+  const SweepGrid grid = invariance_grid();
+  SweepOptions options;
+  options.threads = 2;
+  const auto records = run_sweep(grid, options);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].run_index, i);
+    EXPECT_EQ(records[i].cell_index, grid.cell_of_run(i));
+    EXPECT_EQ(records[i].spec, grid.spec_for_run(i));
+  }
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryRun) {
+  const SweepGrid grid = invariance_grid();
+  std::atomic<std::size_t> calls{0};
+  SweepOptions options;
+  options.threads = 4;
+  options.progress = [&](std::size_t, std::size_t) { ++calls; };
+  run_sweep(grid, options);
+  EXPECT_EQ(calls.load(), grid.num_runs());
+}
+
+TEST(Aggregator, CsvHasOneRowPerCellPlusHeader) {
+  const SweepGrid grid = invariance_grid();
+  SweepOptions options;
+  const auto cells = aggregate(grid, run_sweep(grid, options));
+  const std::string csv = aggregates_to_csv(cells);
+  std::size_t lines = 0;
+  for (char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, grid.num_cells() + 1);
+}
+
+TEST(Aggregator, CountsFailuresForHopelessCells) {
+  // naive + nocd under heavy loss: the Theorem 4 foil.  The engine must
+  // report these cells as failing, not crash on them.
+  SweepGrid grid;
+  grid.base.alg = AlgKind::kNaive;
+  grid.base.detector = DetectorKind::kNoCd;
+  grid.base.cm = CmKind::kNoCm;
+  grid.base.loss = LossKind::kUnrestricted;
+  grid.base.n = 4;
+  grid.base.num_values = 4;
+  grid.base.max_rounds = 60;
+  grid.seeds_per_cell = 4;
+  const auto cells = aggregate(grid, run_sweep(grid, {}));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].runs, 4u);
+  // Under total cross-process loss every naive process times out onto its
+  // own value: termination without agreement (when initial values differ).
+  EXPECT_GT(cells[0].agreement_failures + cells[0].termination_failures, 0u);
+}
+
+}  // namespace
+}  // namespace ccd::exp

@@ -1,0 +1,293 @@
+// ccd_sweep: batch experiment driver for the exp/ orchestration engine.
+//
+// Runs a named grid (see SweepGrid::named) or an ad-hoc grid assembled
+// from axis flags, executes every cell x seed across a thread pool, and
+// emits per-cell aggregate statistics as an ASCII summary, JSON and/or
+// CSV.  Aggregates are a pure function of (grid, grid seed): the JSON
+// report is byte-identical at --threads 1 and --threads 8.
+//
+// Examples:
+//   ccd_sweep --grid default --threads 8 --json report.json
+//   ccd_sweep --algs alg1,alg2 --detectors maj-oac,zero-oac --csts 5,20
+//             --n 4,16 --seeds 10 --csv sweep.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
+
+namespace {
+
+using namespace ccd;
+using namespace ccd::exp;
+
+void usage(std::FILE* out) {
+  std::fprintf(out, R"(usage: ccd_sweep [options]
+
+grid selection:
+  --grid NAME          named grid (--list-grids); default "default"
+  --list-grids         print the named grids and exit
+
+axis overrides (comma-separated; replace the named grid's axis):
+  --algs LIST          alg1,alg2,alg3,alg4,naive
+  --detectors LIST     ac,maj-ac,half-ac,zero-ac,oac,maj-oac,half-oac,
+                       zero-oac,nocd,noacc
+  --policies LIST      truthful,prefer-null,prefer-collision,spurious,
+                       flaky-majority,random-legal
+  --cms LIST           nocm,wakeup,leader,backoff
+  --losses LIST        noloss,ecf,prob,unrestricted
+  --faults LIST        none,random-crash
+  --n LIST             process counts, e.g. 4,8,16
+  --values LIST        |V| per cell, e.g. 16,256
+  --csts LIST          CST targets, e.g. 5,20
+
+scalar knobs:
+  --seeds N            seeds per cell (default: grid's)
+  --grid-seed S        master seed (default: grid's)
+  --chaos calm|chaotic pre-CST environment flavour
+  --init random|split|same
+  --p-deliver P        delivery probability knob
+  --max-rounds N       per-run round cap (0 = auto)
+
+execution and output:
+  --threads N          worker threads (0 = hardware concurrency; default 0)
+  --json PATH          write aggregate JSON report
+  --csv PATH           write per-cell CSV
+  --quiet              suppress the ASCII summary
+)");
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+template <typename T, typename ParseFn>
+bool parse_list(const std::string& arg, const char* what, ParseFn parse,
+                std::vector<T>& out) {
+  out.clear();
+  for (const std::string& tok : split_csv(arg)) {
+    auto v = parse(tok);
+    if (!v) {
+      std::fprintf(stderr, "ccd_sweep: bad %s value '%s'\n", what,
+                   tok.c_str());
+      return false;
+    }
+    out.push_back(*v);
+  }
+  return true;
+}
+
+template <typename T>
+bool parse_uint_list(const std::string& arg, const char* what,
+                     std::vector<T>& out) {
+  out.clear();
+  for (const std::string& tok : split_csv(arg)) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (!end || *end != '\0' || tok.empty()) {
+      std::fprintf(stderr, "ccd_sweep: bad %s value '%s'\n", what,
+                   tok.c_str());
+      return false;
+    }
+    out.push_back(static_cast<T>(v));
+  }
+  return true;
+}
+
+bool parse_u64_flag(const char* arg, const char* what, std::uint64_t& out) {
+  if (!arg || *arg == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (!end || *end != '\0' || arg[0] == '-') {
+    std::fprintf(stderr, "ccd_sweep: bad %s value '%s'\n", what,
+                 arg ? arg : "");
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_double_flag(const char* arg, const char* what, double& out) {
+  if (!arg || *arg == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (!end || *end != '\0') {
+    std::fprintf(stderr, "ccd_sweep: bad %s value '%s'\n", what, arg);
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "ccd_sweep: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_name = "default";
+  std::string json_path, csv_path;
+  unsigned threads = 0;
+  bool quiet = false;
+
+  // First pass: find the grid so axis flags can override it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-grids") == 0) {
+      for (const std::string& name : SweepGrid::grid_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--grid") == 0 && i + 1 < argc) {
+      grid_name = argv[i + 1];
+    }
+  }
+
+  auto maybe_grid = SweepGrid::named(grid_name);
+  if (!maybe_grid) {
+    std::fprintf(stderr, "ccd_sweep: unknown grid '%s' (--list-grids)\n",
+                 grid_name.c_str());
+    return 2;
+  }
+  SweepGrid grid = *maybe_grid;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ccd_sweep: %s needs a value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    bool ok = true;
+    if (flag == "--grid") {
+      ok = next() != nullptr;  // consumed in the first pass
+    } else if (flag == "--algs") {
+      const char* v = next();
+      ok = v && parse_list(v, "alg", parse_alg, grid.algs);
+    } else if (flag == "--detectors") {
+      const char* v = next();
+      ok = v && parse_list(v, "detector", parse_detector, grid.detectors);
+    } else if (flag == "--policies") {
+      const char* v = next();
+      ok = v && parse_list(v, "policy", parse_policy, grid.policies);
+    } else if (flag == "--cms") {
+      const char* v = next();
+      ok = v && parse_list(v, "cm", parse_cm, grid.cms);
+    } else if (flag == "--losses") {
+      const char* v = next();
+      ok = v && parse_list(v, "loss", parse_loss, grid.losses);
+    } else if (flag == "--faults") {
+      const char* v = next();
+      ok = v && parse_list(v, "fault", parse_fault, grid.faults);
+    } else if (flag == "--n") {
+      const char* v = next();
+      ok = v && parse_uint_list(v, "n", grid.ns);
+    } else if (flag == "--values") {
+      const char* v = next();
+      ok = v && parse_uint_list(v, "num_values", grid.value_spaces);
+    } else if (flag == "--csts") {
+      const char* v = next();
+      ok = v && parse_uint_list(v, "cst", grid.csts);
+    } else if (flag == "--seeds") {
+      const char* v = next();
+      std::uint64_t seeds = 0;
+      ok = v && parse_u64_flag(v, "seeds", seeds) && seeds <= ~0u;
+      if (ok) grid.seeds_per_cell = static_cast<std::uint32_t>(seeds);
+    } else if (flag == "--grid-seed") {
+      const char* v = next();
+      ok = v && parse_u64_flag(v, "grid-seed", grid.grid_seed);
+    } else if (flag == "--chaos") {
+      const char* v = next();
+      auto c = v ? parse_chaos(v) : std::nullopt;
+      ok = c.has_value();
+      if (ok) grid.base.chaos = *c;
+    } else if (flag == "--init") {
+      const char* v = next();
+      auto c = v ? parse_init(v) : std::nullopt;
+      ok = c.has_value();
+      if (ok) grid.base.init = *c;
+    } else if (flag == "--p-deliver") {
+      const char* v = next();
+      ok = v && parse_double_flag(v, "p-deliver", grid.base.p_deliver);
+    } else if (flag == "--max-rounds") {
+      const char* v = next();
+      std::uint64_t rounds = 0;
+      ok = v && parse_u64_flag(v, "max-rounds", rounds) &&
+           rounds <= ccd::kNeverRound;
+      if (ok) grid.base.max_rounds = static_cast<ccd::Round>(rounds);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      std::uint64_t t = 0;
+      ok = v && parse_u64_flag(v, "threads", t) && t <= 4096;
+      if (ok) threads = static_cast<unsigned>(t);
+    } else if (flag == "--json") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) json_path = v;
+    } else if (flag == "--csv") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) csv_path = v;
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "ccd_sweep: unknown flag '%s'\n", flag.c_str());
+      usage(stderr);
+      return 2;
+    }
+    if (!ok) return 2;
+  }
+
+  if (grid.seeds_per_cell == 0 || grid.num_cells() == 0) {
+    std::fprintf(stderr, "ccd_sweep: empty grid\n");
+    return 2;
+  }
+
+  SweepOptions options;
+  options.threads = threads;
+  if (!quiet) {
+    std::fprintf(stderr, "ccd_sweep: %zu cells x %u seeds = %zu runs\n",
+                 grid.num_cells(), grid.seeds_per_cell, grid.num_runs());
+  }
+
+  const std::vector<RunRecord> records = run_sweep(grid, options);
+  const std::vector<CellAggregate> cells = aggregate(grid, records);
+
+  if (!quiet) print_summary(std::cout, grid, cells);
+  if (!json_path.empty() &&
+      !write_file(json_path, aggregates_to_json(grid, cells))) {
+    return 1;
+  }
+  if (!csv_path.empty() && !write_file(csv_path, aggregates_to_csv(cells))) {
+    return 1;
+  }
+  return 0;
+}
