@@ -1,0 +1,50 @@
+// Drive a multihop sweep from code: diameter/density as first-class grid
+// axes, exactly like `ccd_sweep --grid multihop` but programmatic.
+//
+// The example sweeps CD-assisted flooding over random-geometric graphs at
+// three densities, prints the per-cell aggregates, and demonstrates the
+// determinism contract by re-running the grid and comparing reports.
+#include <iostream>
+
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
+
+int main() {
+  using namespace ccd::exp;
+
+  SweepGrid grid;
+  grid.base.workload = WorkloadKind::kFlood;
+  grid.base.detector = DetectorKind::kZeroAC;  // local carrier-sense
+  grid.base.loss = LossKind::kEcf;             // capture-effect physics
+  grid.topologies = {TopologyKind::kRandomGeometric};
+  grid.densities = {2.0, 3.0, 4.5};
+  grid.ns = {16, 32};
+  grid.seeds_per_cell = 10;
+  grid.grid_seed = 2026;
+
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  const auto records = run_sweep(grid, options);
+  const auto cells = aggregate(grid, records);
+  print_summary(std::cout, grid, cells);
+
+  std::cout << "\nper-cell detail (denser graphs: shorter diameter, faster "
+               "coverage, more contention):\n";
+  for (const CellAggregate& cell : cells) {
+    std::cout << "  n=" << cell.spec.n << " density=" << cell.spec.density
+              << "  diameter " << cell.diameter.mean() << "  coverage "
+              << cell.full_coverage << "/" << cell.mh_runs << " (mean "
+              << (cell.coverage_rounds.empty() ? 0.0
+                                               : cell.coverage_rounds.mean())
+              << " rounds)  msgs/node " << cell.messages_per_node.mean()
+              << "\n";
+  }
+
+  // The determinism contract: a grid is a pure function of its seed.
+  const auto again = aggregates_to_json(grid, aggregate(grid, run_sweep(grid, options)));
+  std::cout << "\nre-run byte-identical: "
+            << (again == aggregates_to_json(grid, cells) ? "yes" : "NO")
+            << "\n";
+  return 0;
+}

@@ -63,20 +63,54 @@ std::vector<CellAggregate> aggregate(const SweepGrid& grid,
   }
   for (const RunRecord& r : records) {
     CellAggregate& cell = cells.at(r.cell_index);
-    const ConsensusVerdict& v = r.summary.verdict;
     ++cell.runs;
-    if (v.solved()) ++cell.solved;
-    if (!v.agreement) ++cell.agreement_failures;
-    if (!v.strong_validity || !v.uniform_validity) ++cell.validity_failures;
-    if (!v.termination) ++cell.termination_failures;
-    cell.crashed_processes += r.summary.result.num_crashed;
-    cell.rounds_executed.add(
-        static_cast<double>(r.summary.result.rounds_executed));
-    if (v.solved()) {
-      cell.decision_round.add(static_cast<double>(v.last_decision_round));
-      if (r.summary.cst != kNeverRound) {
-        cell.rounds_after_cst.add(
-            static_cast<double>(r.summary.rounds_after_cst));
+
+    // Consensus properties: meaningful for consensus workloads and for the
+    // phase-2 consensus of mis-then-consensus (where a head-less MIS phase
+    // honestly counts as a termination failure).
+    const bool has_consensus_phase =
+        r.spec.workload == WorkloadKind::kConsensus ||
+        r.spec.workload == WorkloadKind::kMisThenConsensus;
+    if (has_consensus_phase) {
+      const ConsensusVerdict& v = r.summary.verdict;
+      if (v.solved()) ++cell.solved;
+      if (!v.agreement) ++cell.agreement_failures;
+      if (!v.strong_validity || !v.uniform_validity) ++cell.validity_failures;
+      if (!v.termination) ++cell.termination_failures;
+      cell.crashed_processes += r.summary.result.num_crashed;
+      cell.rounds_executed.add(
+          static_cast<double>(r.summary.result.rounds_executed));
+      if (v.solved()) {
+        cell.decision_round.add(static_cast<double>(v.last_decision_round));
+        if (r.summary.cst != kNeverRound) {
+          cell.rounds_after_cst.add(
+              static_cast<double>(r.summary.rounds_after_cst));
+        }
+      }
+    }
+
+    if (r.mh.ran) {
+      ++cell.mh_runs;
+      if (!r.mh.connected) ++cell.disconnected;
+      if (r.mh.connected) cell.diameter.add(r.mh.diameter);
+      cell.messages_per_node.add(r.mh.messages_per_node);
+      if (r.spec.workload == WorkloadKind::kFlood) {
+        if (r.mh.full_coverage_round != kNeverRound) {
+          ++cell.full_coverage;
+          cell.coverage_rounds.add(
+              static_cast<double>(r.mh.full_coverage_round));
+        }
+        cell.coverage_fraction.add(
+            r.spec.n > 0 ? static_cast<double>(r.mh.covered) /
+                               static_cast<double>(r.spec.n)
+                         : 0.0);
+      } else {
+        if (!r.mh.mis_independent || !r.mh.mis_maximal) ++cell.mis_violations;
+        cell.mis_size.add(static_cast<double>(r.mh.mis_size));
+        if (r.mh.mis_settle_round != kNeverRound) {
+          cell.mis_settle_round.add(
+              static_cast<double>(r.mh.mis_settle_round));
+        }
       }
     }
   }
@@ -110,6 +144,25 @@ std::string aggregates_to_json(const SweepGrid& grid,
     append_stats_json(out, "rounds_after_cst", cell.rounds_after_cst);
     out += ",";
     append_stats_json(out, "rounds_executed", cell.rounds_executed);
+    if (cell.mh_runs > 0) {
+      out += ",\"mh\":{\"runs\":" + std::to_string(cell.mh_runs);
+      out += ",\"disconnected\":" + std::to_string(cell.disconnected);
+      out += ",\"full_coverage\":" + std::to_string(cell.full_coverage);
+      out += ",\"mis_violations\":" + std::to_string(cell.mis_violations);
+      out += ",";
+      append_stats_json(out, "coverage_rounds", cell.coverage_rounds);
+      out += ",";
+      append_stats_json(out, "coverage_fraction", cell.coverage_fraction);
+      out += ",";
+      append_stats_json(out, "mis_size", cell.mis_size);
+      out += ",";
+      append_stats_json(out, "mis_settle_round", cell.mis_settle_round);
+      out += ",";
+      append_stats_json(out, "messages_per_node", cell.messages_per_node);
+      out += ",";
+      append_stats_json(out, "diameter", cell.diameter);
+      out += "}";
+    }
     out += "}";
   }
   out += "]}";
@@ -118,12 +171,16 @@ std::string aggregates_to_json(const SweepGrid& grid,
 
 std::string aggregates_to_csv(const std::vector<CellAggregate>& cells) {
   std::string out =
-      "cell,alg,detector,policy,cm,loss,fault,n,num_values,cst_target,"
+      "cell,alg,detector,policy,cm,loss,fault,workload,topology,density,"
+      "n,num_values,cst_target,"
       "runs,solved,agreement_failures,validity_failures,"
       "termination_failures,crashed_processes,"
       "decision_min,decision_mean,decision_p50,decision_p99,decision_max,"
       "after_cst_min,after_cst_mean,after_cst_p50,after_cst_p99,"
-      "after_cst_max\n";
+      "after_cst_max,"
+      "mh_runs,disconnected,full_coverage,mis_violations,"
+      "coverage_mean,coverage_fraction_mean,mis_size_mean,"
+      "mis_settle_mean,messages_per_node_mean,diameter_mean\n";
   for (const CellAggregate& cell : cells) {
     const ScenarioSpec& s = cell.spec;
     out += std::to_string(cell.cell_index);
@@ -139,6 +196,12 @@ std::string aggregates_to_csv(const std::vector<CellAggregate>& cells) {
     out += to_string(s.loss);
     out += ",";
     out += to_string(s.fault);
+    out += ",";
+    out += to_string(s.workload);
+    out += ",";
+    out += to_string(s.topology);
+    out += ",";
+    out += fmt(s.density);
     for (std::uint64_t v :
          {static_cast<std::uint64_t>(s.n), s.num_values,
           static_cast<std::uint64_t>(s.cst_target),
@@ -155,6 +218,21 @@ std::string aggregates_to_csv(const std::vector<CellAggregate>& cells) {
     append_stats_csv(out, cell.decision_round);
     out += ",";
     append_stats_csv(out, cell.rounds_after_cst);
+    for (std::uint64_t v :
+         {static_cast<std::uint64_t>(cell.mh_runs),
+          static_cast<std::uint64_t>(cell.disconnected),
+          static_cast<std::uint64_t>(cell.full_coverage),
+          static_cast<std::uint64_t>(cell.mis_violations)}) {
+      out += ",";
+      out += std::to_string(v);
+    }
+    for (const Stats* st :
+         {&cell.coverage_rounds, &cell.coverage_fraction, &cell.mis_size,
+          &cell.mis_settle_round, &cell.messages_per_node,
+          &cell.diameter}) {
+      out += ",";
+      if (!st->empty()) out += fmt(st->mean());
+    }
     out += "\n";
   }
   return out;
@@ -162,42 +240,112 @@ std::string aggregates_to_csv(const std::vector<CellAggregate>& cells) {
 
 void print_summary(std::ostream& os, const SweepGrid& grid,
                    const std::vector<CellAggregate>& cells) {
-  std::size_t runs = 0, solved = 0, agreement = 0, validity = 0,
-              termination = 0;
+  auto consensus_phase = [](const CellAggregate& cell) {
+    return cell.spec.workload == WorkloadKind::kConsensus ||
+           cell.spec.workload == WorkloadKind::kMisThenConsensus;
+  };
+  std::size_t runs = 0, consensus_runs = 0, solved = 0, agreement = 0,
+              validity = 0, termination = 0;
+  std::size_t mh_runs = 0, flood_runs = 0, full_coverage = 0,
+              mis_violations = 0, disconnected = 0;
   for (const CellAggregate& cell : cells) {
     runs += cell.runs;
-    solved += cell.solved;
-    agreement += cell.agreement_failures;
-    validity += cell.validity_failures;
-    termination += cell.termination_failures;
+    if (consensus_phase(cell)) {
+      consensus_runs += cell.runs;
+      solved += cell.solved;
+      agreement += cell.agreement_failures;
+      validity += cell.validity_failures;
+      termination += cell.termination_failures;
+    }
+    mh_runs += cell.mh_runs;
+    if (cell.spec.workload == WorkloadKind::kFlood) {
+      flood_runs += cell.mh_runs;
+      full_coverage += cell.full_coverage;
+    }
+    mis_violations += cell.mis_violations;
+    disconnected += cell.disconnected;
   }
   os << "grid: " << cells.size() << " cells x " << grid.seeds_per_cell
      << " seeds = " << runs << " runs (grid_seed " << grid.grid_seed
      << ")\n";
-  os << "solved " << solved << "/" << runs << "; failures: agreement "
-     << agreement << ", validity " << validity << ", termination "
-     << termination << "\n\n";
-
-  AsciiTable table({"cell", "alg", "detector", "cm", "loss", "n", "solved",
-                    "agree-fail", "decide-mean", "after-CST max"});
-  for (const CellAggregate& cell : cells) {
-    // Keep the table scannable for big grids: print only imperfect cells
-    // unless the grid is small.
-    const bool perfect =
-        cell.solved == cell.runs && cell.agreement_failures == 0;
-    if (cells.size() > 24 && perfect) continue;
-    table.add(cell.cell_index, to_string(cell.spec.alg),
-              to_string(cell.spec.detector), to_string(cell.spec.cm),
-              to_string(cell.spec.loss), cell.spec.n,
-              std::to_string(cell.solved) + "/" + std::to_string(cell.runs),
-              cell.agreement_failures,
-              cell.decision_round.empty() ? std::string("-")
-                                          : fmt(cell.decision_round.mean()),
-              cell.rounds_after_cst.empty()
-                  ? std::string("-")
-                  : fmt(cell.rounds_after_cst.max()));
+  if (consensus_runs > 0) {
+    os << "solved " << solved << "/" << consensus_runs
+       << "; failures: agreement " << agreement << ", validity " << validity
+       << ", termination " << termination << "\n";
   }
-  table.print(os);
+  if (mh_runs > 0) {
+    os << "multihop: " << mh_runs << " runs";
+    if (flood_runs > 0) {
+      os << ", full coverage " << full_coverage << "/" << flood_runs;
+    }
+    os << ", MIS violations " << mis_violations << ", disconnected "
+       << disconnected << "\n";
+  }
+  os << "\n";
+
+  // A cell is "perfect" when its workload's own success criterion held in
+  // every run; big grids print only the imperfect ones.
+  auto perfect = [&](const CellAggregate& cell) {
+    if (cell.disconnected > 0) return false;
+    if (consensus_phase(cell) &&
+        (cell.solved != cell.runs || cell.agreement_failures != 0)) {
+      return false;
+    }
+    if (cell.spec.workload == WorkloadKind::kFlood &&
+        cell.full_coverage != cell.mh_runs) {
+      return false;
+    }
+    return cell.mis_violations == 0;
+  };
+
+  if (consensus_runs > 0) {
+    AsciiTable table({"cell", "alg", "detector", "cm", "loss", "n", "solved",
+                      "agree-fail", "decide-mean", "after-CST max"});
+    for (const CellAggregate& cell : cells) {
+      if (!consensus_phase(cell)) continue;
+      if (cells.size() > 24 && perfect(cell)) continue;
+      table.add(cell.cell_index, to_string(cell.spec.alg),
+                to_string(cell.spec.detector), to_string(cell.spec.cm),
+                to_string(cell.spec.loss), cell.spec.n,
+                std::to_string(cell.solved) + "/" + std::to_string(cell.runs),
+                cell.agreement_failures,
+                cell.decision_round.empty()
+                    ? std::string("-")
+                    : fmt(cell.decision_round.mean()),
+                cell.rounds_after_cst.empty()
+                    ? std::string("-")
+                    : fmt(cell.rounds_after_cst.max()));
+    }
+    table.print(os);
+  }
+
+  if (mh_runs > 0) {
+    AsciiTable table({"cell", "workload", "topology", "loss", "n", "density",
+                      "covered", "cover-mean", "MIS-mean", "msgs/node",
+                      "diam-mean"});
+    for (const CellAggregate& cell : cells) {
+      if (cell.mh_runs == 0) continue;
+      if (cells.size() > 24 && perfect(cell)) continue;
+      const bool flood = cell.spec.workload == WorkloadKind::kFlood;
+      table.add(
+          cell.cell_index, to_string(cell.spec.workload),
+          to_string(cell.spec.topology), to_string(cell.spec.loss),
+          cell.spec.n, fmt(cell.spec.density),
+          flood ? std::to_string(cell.full_coverage) + "/" +
+                      std::to_string(cell.mh_runs)
+                : std::string("-"),
+          cell.coverage_rounds.empty() ? std::string("-")
+                                       : fmt(cell.coverage_rounds.mean()),
+          cell.mis_size.empty() ? std::string("-")
+                                : fmt(cell.mis_size.mean()),
+          cell.messages_per_node.empty()
+              ? std::string("-")
+              : fmt(cell.messages_per_node.mean()),
+          cell.diameter.empty() ? std::string("-")
+                                : fmt(cell.diameter.mean()));
+    }
+    table.print(os);
+  }
 }
 
 }  // namespace ccd::exp

@@ -29,6 +29,21 @@ struct CellAggregate {
   Stats decision_round;    ///< last decision round, solved runs only
   Stats rounds_after_cst;  ///< solved runs in worlds with a finite CST
   Stats rounds_executed;   ///< all runs
+
+  // Multihop workloads (flood / mis / mis-then-consensus).  The consensus
+  // counters above stay zero for flood/mis cells; mis-then-consensus cells
+  // populate BOTH groups (phase 2 is a real consensus run among the heads).
+  std::size_t mh_runs = 0;         ///< records with a multihop phase
+  std::size_t disconnected = 0;    ///< topology not connected (rgg only)
+  std::size_t full_coverage = 0;   ///< flood runs that reached every node
+  std::size_t mis_violations = 0;  ///< independence or maximality broken
+
+  Stats coverage_rounds;     ///< flood: rounds to full coverage (when reached)
+  Stats coverage_fraction;   ///< flood: nodes reached / n, all runs
+  Stats mis_size;            ///< heads elected
+  Stats mis_settle_round;    ///< first all-settled round (when settled)
+  Stats messages_per_node;   ///< broadcasts / n over the multihop phase
+  Stats diameter;            ///< hop diameter, connected runs only
 };
 
 std::vector<CellAggregate> aggregate(const SweepGrid& grid,

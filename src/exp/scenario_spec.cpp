@@ -192,6 +192,27 @@ const char* to_string(ChaosKind k) {
   return "?";
 }
 
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kSingleHop: return "singlehop";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kRandomGeometric: return "rgg";
+  }
+  return "?";
+}
+
+const char* to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kConsensus: return "consensus";
+    case WorkloadKind::kFlood: return "flood";
+    case WorkloadKind::kMis: return "mis";
+    case WorkloadKind::kMisThenConsensus: return "mis-then-consensus";
+  }
+  return "?";
+}
+
 std::optional<AlgKind> parse_alg(const std::string& s) {
   return parse_enum(s, {AlgKind::kAlg1, AlgKind::kAlg2, AlgKind::kAlg3,
                         AlgKind::kAlg4, AlgKind::kNaive});
@@ -234,6 +255,17 @@ std::optional<ChaosKind> parse_chaos(const std::string& s) {
   return parse_enum(s, {ChaosKind::kCalm, ChaosKind::kChaotic});
 }
 
+std::optional<TopologyKind> parse_topology(const std::string& s) {
+  return parse_enum(s, {TopologyKind::kSingleHop, TopologyKind::kLine,
+                        TopologyKind::kRing, TopologyKind::kGrid,
+                        TopologyKind::kRandomGeometric});
+}
+
+std::optional<WorkloadKind> parse_workload(const std::string& s) {
+  return parse_enum(s, {WorkloadKind::kConsensus, WorkloadKind::kFlood,
+                        WorkloadKind::kMis, WorkloadKind::kMisThenConsensus});
+}
+
 std::string ScenarioSpec::to_json() const {
   std::string out = "{";
   auto str = [&](const char* key, const char* value) {
@@ -258,12 +290,15 @@ std::string ScenarioSpec::to_json() const {
   str("fault", to_string(fault));
   str("init", to_string(init));
   str("chaos", to_string(chaos));
+  str("topology", to_string(topology));
+  str("workload", to_string(workload));
   num("n", std::to_string(n));
   num("num_values", std::to_string(num_values));
   num("cst_target", std::to_string(cst_target));
   num("p_deliver", format_double(p_deliver));
   num("spurious_p", format_double(spurious_p));
   num("crash_p", format_double(crash_p));
+  num("density", format_double(density));
   num("max_rounds", std::to_string(max_rounds));
   num("seed", std::to_string(seed));
   out.back() = '}';
@@ -271,19 +306,40 @@ std::string ScenarioSpec::to_json() const {
 }
 
 std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json) {
+  return from_json(json, nullptr);
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json,
+                                                    std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<ScenarioSpec> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+
   auto flat = FlatJson::parse(json);
-  if (!flat) return std::nullopt;
+  if (!flat) return fail("not a flat JSON object");
 
   ScenarioSpec spec;
   bool ok = true;
-  auto read_enum = [&](const char* key, auto parse_fn, auto& field) {
+  // First failure wins: report the offending key AND the rejected value so
+  // a hand-written spec file is debuggable from the message alone.
+  auto report = [&](const char* key, const std::string& raw,
+                    const char* expected) {
+    if (ok && error) {
+      *error = std::string("bad value '") + raw + "' for key '" + key +
+               "' (expected " + expected + ")";
+    }
+    ok = false;
+  };
+  auto read_enum = [&](const char* key, auto parse_fn, auto& field,
+                       const char* expected) {
     const std::string* raw = flat->find(key);
     if (!raw) return;  // absent members keep their default
     auto parsed = parse_fn(*raw);
     if (parsed) {
       field = *parsed;
     } else {
-      ok = false;
+      report(key, *raw, expected);
     }
   };
   auto read_u64 = [&](const char* key, auto& field) {
@@ -294,7 +350,7 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json) {
     if (end && *end == '\0') {
       field = static_cast<std::remove_reference_t<decltype(field)>>(v);
     } else {
-      ok = false;
+      report(key, *raw, "an unsigned integer");
     }
   };
   auto read_double = [&](const char* key, double& field) {
@@ -305,24 +361,31 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json) {
     if (end && *end == '\0') {
       field = v;
     } else {
-      ok = false;
+      report(key, *raw, "a number");
     }
   };
 
-  read_enum("alg", parse_alg, spec.alg);
-  read_enum("detector", parse_detector, spec.detector);
-  read_enum("policy", parse_policy, spec.policy);
-  read_enum("cm", parse_cm, spec.cm);
-  read_enum("loss", parse_loss, spec.loss);
-  read_enum("fault", parse_fault, spec.fault);
-  read_enum("init", parse_init, spec.init);
-  read_enum("chaos", parse_chaos, spec.chaos);
+  read_enum("alg", parse_alg, spec.alg, "one of alg1..alg4, naive");
+  read_enum("detector", parse_detector, spec.detector,
+            "a Figure 1 class, nocd or noacc");
+  read_enum("policy", parse_policy, spec.policy, "an advice policy");
+  read_enum("cm", parse_cm, spec.cm, "nocm, wakeup, leader or backoff");
+  read_enum("loss", parse_loss, spec.loss,
+            "noloss, ecf, prob or unrestricted");
+  read_enum("fault", parse_fault, spec.fault, "none or random-crash");
+  read_enum("init", parse_init, spec.init, "random, split or same");
+  read_enum("chaos", parse_chaos, spec.chaos, "calm or chaotic");
+  read_enum("topology", parse_topology, spec.topology,
+            "singlehop, line, ring, grid or rgg");
+  read_enum("workload", parse_workload, spec.workload,
+            "consensus, flood, mis or mis-then-consensus");
   read_u64("n", spec.n);
   read_u64("num_values", spec.num_values);
   read_u64("cst_target", spec.cst_target);
   read_double("p_deliver", spec.p_deliver);
   read_double("spurious_p", spec.spurious_p);
   read_double("crash_p", spec.crash_p);
+  read_double("density", spec.density);
   read_u64("max_rounds", spec.max_rounds);
   read_u64("seed", spec.seed);
 

@@ -2,11 +2,14 @@
 // run -- which algorithm, which detector class and advice policy, which
 // contention manager, loss and failure adversaries, how many processes,
 // which value space, where the stabilization point falls, and the run seed.
+// Multihop runs additionally carry a topology kind (with a density knob for
+// random-geometric graphs) and a workload selector.
 //
 // Specs are plain data: the cross-product machinery (SweepGrid) enumerates
-// them, the WorldFactory materializes them into a World, and reports carry
-// them as the row identity.  Every spec round-trips through a flat JSON
-// object so grids and results are self-describing on disk.
+// them, the WorldFactory materializes them into a World (single-hop) or a
+// MultihopExecutor workload, and reports carry them as the row identity.
+// Every spec round-trips through a flat JSON object so grids and results
+// are self-describing on disk.
 #pragma once
 
 #include <cstdint>
@@ -17,35 +20,141 @@
 
 namespace ccd::exp {
 
-enum class AlgKind : std::uint8_t { kAlg1, kAlg2, kAlg3, kAlg4, kNaive };
+/// Which protocol a consensus run executes (Section 7's upper bounds plus
+/// the no-detector foil the impossibility results rule out).
+enum class AlgKind : std::uint8_t {
+  kAlg1,   ///< Algorithm 1 (Section 7.1): constant rounds after CST with a
+           ///< majority-complete detector (Theorem 1).
+  kAlg2,   ///< Algorithm 2 (Section 7.2): O(lg|V|) rounds after CST with
+           ///< any zero-complete detector (Theorem 2), matching Theorem 6.
+  kAlg3,   ///< Algorithm 3 (Section 7.4): no eventual collision freedom;
+           ///< O(lg|V|) rounds after failures cease (Theorem 3).
+  kAlg4,   ///< The non-anonymous protocol of Section 7.3: unique IDs buy a
+           ///< leader-based fast path on top of an embedded Algorithm 2.
+  kNaive,  ///< Timeout-only no-CD foil: the protocol shape Theorems 4/5/8
+           ///< prove cannot solve consensus; kept as the negative control.
+};
 
-/// The eight Figure 1 classes plus the special classes (Section 5.3).
+/// The eight Figure 1 detector classes plus the special classes of
+/// Section 5.3.  Completeness (rows) fixes which collisions MUST be
+/// reported; accuracy (columns) fixes whether false reports are allowed,
+/// eventually ("<>") or always.
 enum class DetectorKind : std::uint8_t {
-  kAC, kMajAC, kHalfAC, kZeroAC,
-  kOAC, kMajOAC, kHalfOAC, kZeroOAC,
-  kNoCd, kNoAcc,
+  kAC,       ///< AC (Figure 1): complete + accurate from round 1.
+  kMajAC,    ///< maj-AC: majority-complete + accurate; the weakest class
+             ///< supporting Algorithm 1's constant bound (Theorem 1).
+  kHalfAC,   ///< half-AC: misses just under half the messages; the boundary
+             ///< class Theorem 6's Omega(lg|V|) bound exploits.
+  kZeroAC,   ///< 0-AC: zero-complete (only total loss need be reported) +
+             ///< accurate; Algorithm 3's class (Theorem 3).
+  kOAC,      ///< <>AC: complete, eventually accurate (false reports allowed
+             ///< before CST).
+  kMajOAC,   ///< maj-<>AC: Algorithm 1's class as stated (Theorem 1).
+  kHalfOAC,  ///< half-<>AC: eventually-accurate half-completeness; subject
+             ///< to the Theorem 6 lower bound.
+  kZeroOAC,  ///< 0-<>AC: the weakest useful Figure 1 class; Algorithm 2
+             ///< solves consensus in it (Theorem 2).
+  kNoCd,     ///< NoCD (Section 5.3): the always-null detector; consensus is
+             ///< impossible with it under message loss (Theorem 4).
+  kNoAcc,    ///< No-accuracy detector (Section 5.3): complete but free to
+             ///< lie forever; Theorem 5's impossibility class.
 };
 
+/// Behaviour INSIDE a detector-class envelope: where the class (DetectorKind)
+/// bounds what advice is legal, the policy picks the actual advice.  The
+/// policy ablation (bench_policy_ablation, "policies" grid) separates what
+/// the class guarantees from what a particular detector happens to do.
 enum class PolicyKind : std::uint8_t {
-  kTruthful, kPreferNull, kPreferCollision, kSpurious, kFlakyMajority,
-  kRandomLegal,
+  kTruthful,         ///< report exactly the ground truth (the strongest
+                     ///< member of every class).
+  kPreferNull,       ///< stay silent whenever the envelope allows: the
+                     ///< weakest-completeness member, the adversarial choice
+                     ///< in the Theorem 6 construction.
+  kPreferCollision,  ///< report +- whenever legal: maximal noise while
+                     ///< keeping the class's accuracy promise.
+  kSpurious,         ///< false positives with probability spurious_p before
+                     ///< CST (legal in eventually-accurate classes only).
+  kFlakyMajority,    ///< drop each report with probability spurious_p while
+                     ///< staying majority-complete.
+  kRandomLegal,      ///< uniform choice among the envelope-legal advices.
 };
 
-enum class CmKind : std::uint8_t { kNoCm, kWakeup, kLeader, kBackoff };
+/// Contention manager (Section 4): the service that tells processes when to
+/// be active; upper bounds assume a wake-up service (Section 4.1).
+enum class CmKind : std::uint8_t {
+  kNoCm,     ///< NOCM_P (Section 4.2): everyone always active.
+  kWakeup,   ///< Wake-up service (Section 4.1): eventually exactly one
+             ///< active process at a time.
+  kLeader,   ///< Leader-election service (Section 4.2): eventually one
+             ///< FIXED active process.
+  kBackoff,  ///< Randomized-backoff implementation of a wake-up service
+             ///< (the Section 1.3 practical realization).
+};
 
+/// Message-loss adversary (Section 3.2's environment channel).
 enum class LossKind : std::uint8_t {
-  kNoLoss, kEcf, kProbabilistic, kUnrestricted,
+  kNoLoss,         ///< Perfect channel: the "no message loss" legs of the
+                   ///< Theorem 4/8 alpha executions.
+  kEcf,            ///< Eventual collision freedom (Property 1): lone
+                   ///< broadcasts are delivered after round r_cf.
+  kProbabilistic,  ///< iid delivery with probability p_deliver, no
+                   ///< adversarial structure (the Section 1.1 empirics).
+  kUnrestricted,   ///< No ECF ever (Sections 7.4, 8.4, 8.5): the channel
+                   ///< Algorithm 3 must and Theorem 8 cannot beat.
 };
 
-enum class FaultKind : std::uint8_t { kNone, kRandomCrash };
+/// Crash-failure adversary (Section 3.3).
+enum class FaultKind : std::uint8_t {
+  kNone,         ///< Failure-free runs.
+  kRandomCrash,  ///< iid per-round crashes with probability crash_p up to
+                 ///< CST, at least one survivor (Theorem 3's "failures
+                 ///< eventually cease" regime).
+};
 
-enum class InitKind : std::uint8_t { kRandom, kSplit, kAllSame };
+/// Initial value assignment (the init_i(v) states of Definition 2).
+enum class InitKind : std::uint8_t {
+  kRandom,   ///< iid uniform over V.
+  kSplit,    ///< Half low / half high: the divergent assignment the
+             ///< lower-bound executions start from.
+  kAllSame,  ///< Unanimous: exercises uniform validity (Section 6).
+};
 
 /// Pre-CST environment shaping.  kCalm is the friendly setting (maximal
 /// contention advice, iid loss, all-deliver under contention); kChaotic is
 /// the adversarial setting the theorem benches use (random wake subsets,
 /// rotating post-CST activity, capture-effect loss).
 enum class ChaosKind : std::uint8_t { kCalm, kChaotic };
+
+/// Communication graph of a run (the multihop extension the paper's
+/// conclusion announces).  kSingleHop is the paper's model proper -- a
+/// clique driven by the Definition 11 executor; everything else runs on
+/// the MultihopExecutor with per-neighbourhood collision detection.
+enum class TopologyKind : std::uint8_t {
+  kSingleHop,        ///< The paper's single-hop model (Section 3).
+  kLine,             ///< Path graph: diameter n-1, the Omega(D) worst case
+                     ///< of the Section 1.1 broadcast bounds.
+  kRing,             ///< Cycle: diameter floor(n/2), no articulation point.
+  kGrid,             ///< ceil(sqrt(n))-wide rectangular grid over exactly n
+                     ///< nodes (partial last row).
+  kRandomGeometric,  ///< Unit-disk graph: n uniform points, radius set by
+                     ///< `density` (see ScenarioSpec::density).
+};
+
+/// What a run executes.  kConsensus is the paper's problem (Section 6) on
+/// the single-hop World; the rest are the multihop sensor-network workloads
+/// (Section 1.1's broadcast / local-coordination categories) the detector
+/// taxonomy is exercised against beyond one hop.
+enum class WorkloadKind : std::uint8_t {
+  kConsensus,        ///< Consensus via WorldFactory::make + run_consensus.
+                     ///< Requires topology == kSingleHop.
+  kFlood,            ///< CD-assisted flooding from node 0 until full
+                     ///< coverage (bench_multihop_broadcast's E14 shape).
+  kMis,              ///< Clusterhead election as a maximal independent set
+                     ///< (Luby-style, detector-certified independence).
+  kMisThenConsensus, ///< The deployment story end to end: elect
+                     ///< clusterheads on the topology, then run single-hop
+                     ///< consensus among the heads.
+};
 
 const char* to_string(AlgKind k);
 const char* to_string(DetectorKind k);
@@ -55,6 +164,8 @@ const char* to_string(LossKind k);
 const char* to_string(FaultKind k);
 const char* to_string(InitKind k);
 const char* to_string(ChaosKind k);
+const char* to_string(TopologyKind k);
+const char* to_string(WorkloadKind k);
 
 std::optional<AlgKind> parse_alg(const std::string& s);
 std::optional<DetectorKind> parse_detector(const std::string& s);
@@ -64,6 +175,8 @@ std::optional<LossKind> parse_loss(const std::string& s);
 std::optional<FaultKind> parse_fault(const std::string& s);
 std::optional<InitKind> parse_init(const std::string& s);
 std::optional<ChaosKind> parse_chaos(const std::string& s);
+std::optional<TopologyKind> parse_topology(const std::string& s);
+std::optional<WorkloadKind> parse_workload(const std::string& s);
 
 struct ScenarioSpec {
   AlgKind alg = AlgKind::kAlg1;
@@ -74,6 +187,8 @@ struct ScenarioSpec {
   FaultKind fault = FaultKind::kNone;
   InitKind init = InitKind::kRandom;
   ChaosKind chaos = ChaosKind::kCalm;
+  TopologyKind topology = TopologyKind::kSingleHop;
+  WorkloadKind workload = WorkloadKind::kConsensus;
 
   std::uint32_t n = 8;             ///< process count
   std::uint64_t num_values = 16;   ///< |V|
@@ -81,6 +196,12 @@ struct ScenarioSpec {
   double p_deliver = 0.5;          ///< delivery probability knob
   double spurious_p = 0.4;         ///< false-positive rate (spurious/flaky)
   double crash_p = 0.02;           ///< per-round crash probability
+  /// Random-geometric radius as a multiple of the connectivity-threshold
+  /// area: radius = sqrt(density * ln(n) / (pi * n)).  density 1.0 is the
+  /// asymptotic threshold; the factory retries derived seeds until the
+  /// graph is connected, and >= 2.0 (the documented floor) makes retries
+  /// rare.  Ignored by every other topology.
+  double density = 2.5;
   Round max_rounds = 0;            ///< 0 = derive from algorithm + cst
   std::uint64_t seed = 1;          ///< run seed; all component RNG streams
                                    ///< derive from it
@@ -88,6 +209,11 @@ struct ScenarioSpec {
   /// Flat JSON object, stable key order; parse() inverts it exactly.
   std::string to_json() const;
   static std::optional<ScenarioSpec> from_json(const std::string& json);
+  /// As above; on failure, if `error` is non-null it receives a one-line
+  /// message naming the offending key and value (hand-written spec files
+  /// should be debuggable from the message alone).
+  static std::optional<ScenarioSpec> from_json(const std::string& json,
+                                               std::string* error);
 
   /// Identity of the grid CELL this run belongs to: the spec with the seed
   /// normalized out.  Equal cell keys = same parameter combination.

@@ -1,5 +1,7 @@
 #include "exp/sweep_grid.hpp"
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace ccd::exp {
@@ -26,14 +28,18 @@ void apply_axis(std::size_t& index, const std::vector<T>& axis, F& field) {
 std::size_t SweepGrid::num_cells() const {
   return radix(algs) * radix(detectors) * radix(policies) * radix(cms) *
          radix(losses) * radix(faults) * radix(ns) * radix(value_spaces) *
-         radix(csts);
+         radix(csts) * radix(topologies) * radix(densities) *
+         radix(workloads);
 }
 
 ScenarioSpec SweepGrid::spec_for_cell(std::size_t cell_index) const {
   ScenarioSpec spec = base;
   std::size_t index = cell_index;
   // Innermost axis first; the order here fixes the enumeration order and is
-  // part of the on-disk cell numbering, so do not reorder casually.
+  // part of the on-disk cell numbering, so do not reorder casually.  (The
+  // multihop axes sit innermost of the new digits / outermost overall so
+  // that grids without them keep their PR-1 cell numbering: an empty axis
+  // has radix 1 and peels nothing.)
   apply_axis(index, csts, spec.cst_target);
   apply_axis(index, value_spaces, spec.num_values);
   apply_axis(index, ns, spec.n);
@@ -43,6 +49,9 @@ ScenarioSpec SweepGrid::spec_for_cell(std::size_t cell_index) const {
   apply_axis(index, policies, spec.policy);
   apply_axis(index, detectors, spec.detector);
   apply_axis(index, algs, spec.alg);
+  apply_axis(index, densities, spec.density);
+  apply_axis(index, topologies, spec.topology);
+  apply_axis(index, workloads, spec.workload);
   spec.seed = 0;
   return spec;
 }
@@ -55,6 +64,27 @@ ScenarioSpec SweepGrid::spec_for_run(std::size_t run_index) const {
   ScenarioSpec spec = spec_for_cell(cell_of_run(run_index));
   spec.seed = seed_for_run(run_index);
   return spec;
+}
+
+std::optional<std::string> SweepGrid::validate() const {
+  const bool any_consensus =
+      workloads.empty()
+          ? base.workload == WorkloadKind::kConsensus
+          : std::find(workloads.begin(), workloads.end(),
+                      WorkloadKind::kConsensus) != workloads.end();
+  const bool any_multihop_topology =
+      topologies.empty()
+          ? base.topology != TopologyKind::kSingleHop
+          : std::any_of(topologies.begin(), topologies.end(),
+                        [](TopologyKind t) {
+                          return t != TopologyKind::kSingleHop;
+                        });
+  if (any_consensus && any_multihop_topology) {
+    return "consensus workload cells require topology=singlehop (the "
+           "single-hop World has no topology; use workload "
+           "mis-then-consensus for consensus over a multihop graph)";
+  }
+  return std::nullopt;
 }
 
 std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
@@ -123,11 +153,31 @@ std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
     grid.seeds_per_cell = 4;
     return grid;
   }
+  if (name == "multihop") {
+    // The conclusion's extension as a grid: every multihop workload over
+    // every topology shape, friendly and capture-effect link physics, and
+    // two RGG densities (the density axis is inert for non-rgg cells).
+    // A zero-complete accurate detector is the carrier-sense-grade local
+    // detection the deployment story assumes; sweep --detectors nocd to
+    // ablate the collision feedback away.
+    grid.workloads = {WorkloadKind::kFlood, WorkloadKind::kMis,
+                      WorkloadKind::kMisThenConsensus};
+    grid.topologies = {TopologyKind::kLine, TopologyKind::kRing,
+                       TopologyKind::kGrid, TopologyKind::kRandomGeometric};
+    grid.densities = {2.0, 3.0};
+    grid.losses = {LossKind::kNoLoss, LossKind::kEcf};
+    grid.ns = {8, 16, 32};
+    grid.base.detector = DetectorKind::kZeroAC;
+    grid.base.num_values = 16;
+    grid.base.cst_target = 5;
+    grid.seeds_per_cell = 3;
+    return grid;
+  }
   return std::nullopt;
 }
 
 std::vector<std::string> SweepGrid::grid_names() {
-  return {"smoke", "default", "policies", "crash"};
+  return {"smoke", "default", "policies", "crash", "multihop"};
 }
 
 }  // namespace ccd::exp

@@ -31,6 +31,11 @@ struct SweepGrid {
   std::vector<std::uint32_t> ns;
   std::vector<std::uint64_t> value_spaces;
   std::vector<Round> csts;
+  std::vector<TopologyKind> topologies;
+  /// RGG density axis; inert for non-rgg topology cells (the cells are
+  /// still enumerated, so keep this axis short unless sweeping rgg only).
+  std::vector<double> densities;
+  std::vector<WorkloadKind> workloads;
 
   std::uint32_t seeds_per_cell = 1;
   std::uint64_t grid_seed = 1;
@@ -51,9 +56,18 @@ struct SweepGrid {
   /// Deterministic per-run seed: hash(grid_seed, run_index).
   std::uint64_t seed_for_run(std::size_t run_index) const;
 
+  /// Structural sanity: nullopt if the grid is well-formed, else a
+  /// human-readable reason.  Catches the one silent-footgun combination:
+  /// a consensus-workload cell on a non-singlehop topology (the single-hop
+  /// World has no topology, so the axis would be ignored while reports
+  /// still label rows with it).
+  std::optional<std::string> validate() const;
+
   /// Built-in grids: "smoke" (fast sanity), "default" (the broad
   /// alg x detector x cm x loss robustness product, 150 cells),
-  /// "policies" (detector-behaviour ablation), "crash" (failure sweep).
+  /// "policies" (detector-behaviour ablation), "crash" (failure sweep),
+  /// "multihop" (workload x topology x density x loss x n over the
+  /// multihop executor).
   static std::optional<SweepGrid> named(const std::string& name);
   static std::vector<std::string> grid_names();
 };

@@ -12,11 +12,16 @@ RunRecord run_one(const SweepGrid& grid, std::size_t run_index,
   record.run_index = run_index;
   record.cell_index = grid.cell_of_run(run_index);
   record.spec = grid.spec_for_run(run_index);
-  ExecutorOptions options;
-  options.record_views = record_views;
-  record.summary = run_consensus(WorldFactory::make(record.spec),
-                                 WorldFactory::max_rounds(record.spec),
-                                 options);
+  if (record.spec.workload == WorkloadKind::kConsensus) {
+    ExecutorOptions options;
+    options.record_views = record_views;
+    record.summary = run_consensus(WorldFactory::make(record.spec),
+                                   WorldFactory::max_rounds(record.spec),
+                                   options);
+  } else {
+    record.mh = WorldFactory::run_multihop(record.spec);
+    if (record.mh.consensus) record.summary = *record.mh.consensus;
+  }
   return record;
 }
 

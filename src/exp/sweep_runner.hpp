@@ -17,6 +17,7 @@
 
 #include "consensus/harness.hpp"
 #include "exp/sweep_grid.hpp"
+#include "exp/world_factory.hpp"
 
 namespace ccd::exp {
 
@@ -24,7 +25,11 @@ struct RunRecord {
   std::size_t run_index = 0;
   std::size_t cell_index = 0;
   ScenarioSpec spec;
+  /// Consensus verdict.  Populated for consensus workloads and for the
+  /// phase-2 consensus of mis-then-consensus; default otherwise.
   RunSummary summary;
+  /// Multihop metrics; mh.ran is false for consensus workloads.
+  MultihopSummary mh;
 };
 
 struct SweepOptions {

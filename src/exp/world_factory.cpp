@@ -1,6 +1,7 @@
 #include "exp/world_factory.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "cd/oracle_detector.hpp"
 #include "cm/backoff_cm.hpp"
@@ -13,6 +14,8 @@
 #include "consensus/alg4_non_anonymous.hpp"
 #include "consensus/harness.hpp"
 #include "consensus/naive_no_cd.hpp"
+#include "multihop/flood.hpp"
+#include "multihop/mis.hpp"
 #include "net/ecf_adversary.hpp"
 #include "net/no_loss.hpp"
 #include "net/probabilistic_loss.hpp"
@@ -31,6 +34,10 @@ constexpr std::uint64_t kCdSalt = 0x63645f73656564ULL;      // "cd_seed"
 constexpr std::uint64_t kLossSalt = 0x6c6f73735f73ULL;      // "loss_s"
 constexpr std::uint64_t kFaultSalt = 0x6661756c745fULL;     // "fault_"
 constexpr std::uint64_t kInitSalt = 0x696e69745f73ULL;      // "init_s"
+constexpr std::uint64_t kTopoSalt = 0x746f706f5f73ULL;      // "topo_s"
+constexpr std::uint64_t kMhProcSalt = 0x6d685f70726fULL;    // "mh_pro"
+constexpr std::uint64_t kMhLinkSalt = 0x6d685f6c6e6bULL;    // "mh_lnk"
+constexpr std::uint64_t kPhase2Salt = 0x7068617365325fULL;  // "phase2_"
 
 std::uint64_t sub_seed(const ScenarioSpec& spec, std::uint64_t salt) {
   return hash_mix(spec.seed ^ salt);
@@ -216,6 +223,207 @@ World WorldFactory::make(const ScenarioSpec& spec) {
   return ccd::make_world(*algorithm, make_initial_values(spec), make_cm(spec),
                          make_detector(spec), make_loss(spec),
                          make_fault(spec));
+}
+
+// --- multihop path ---------------------------------------------------------
+
+Topology WorldFactory::make_topology(const ScenarioSpec& spec) {
+  const std::size_t n = spec.n;
+  switch (spec.topology) {
+    case TopologyKind::kSingleHop:
+      return Topology::clique(n);
+    case TopologyKind::kLine:
+      return Topology::line(n);
+    case TopologyKind::kRing:
+      return Topology::ring(n);
+    case TopologyKind::kGrid:
+      return Topology::grid_n(n);
+    case TopologyKind::kRandomGeometric: {
+      const std::uint64_t base = sub_seed(spec, kTopoSalt);
+      if (n < 2) return Topology::random_geometric(n, 0.0, base);
+      // radius^2 * pi = density * ln(n) / n: density 1.0 is the asymptotic
+      // connectivity threshold of the unit-disk model; the spec documents
+      // a floor of 2.0.  Bounded retries on derived seeds make connected
+      // instances deterministic in practice at the floor.
+      const double radius =
+          std::sqrt(std::max(0.0, spec.density) *
+                    std::log(static_cast<double>(n)) /
+                    (3.14159265358979323846 * static_cast<double>(n)));
+      Topology topo = Topology::random_geometric(n, radius, base);
+      for (std::uint64_t attempt = 1; attempt < 32 && !topo.connected();
+           ++attempt) {
+        topo = Topology::random_geometric(n, radius, hash_mix(base + attempt));
+      }
+      return topo;
+    }
+  }
+  return Topology::clique(n);
+}
+
+MhLinkModel WorldFactory::make_link(const ScenarioSpec& spec) {
+  switch (spec.loss) {
+    case LossKind::kNoLoss: return {1.0, 1.0};
+    case LossKind::kEcf: return {0.95, 0.05};
+    case LossKind::kProbabilistic:
+      return {spec.p_deliver, 0.5 * spec.p_deliver};
+    case LossKind::kUnrestricted: return {0.5, 0.0};
+  }
+  return {1.0, 1.0};
+}
+
+Round WorldFactory::multihop_max_rounds(const ScenarioSpec& spec) {
+  if (spec.max_rounds > 0) return spec.max_rounds;
+  // Flood needs Omega(diameter) <= n hops, each a lone-broadcast lottery;
+  // MIS settles in O(lg n) phases.  Linear slack covers both.
+  return 200 + 40 * static_cast<Round>(spec.n);
+}
+
+namespace {
+
+void finish_common(MultihopSummary& out, const MultihopExecutor& ex) {
+  out.rounds_executed = ex.current_round();
+  out.broadcasts = ex.total_broadcasts();
+  out.messages_per_node =
+      ex.size() > 0 ? static_cast<double>(ex.total_broadcasts()) /
+                          static_cast<double>(ex.size())
+                    : 0.0;
+}
+
+MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo) {
+  MultihopSummary out;
+  out.ran = true;
+  const std::size_t n = topo.size();
+  const std::uint32_t diam = topo.diameter();
+  out.connected = diam != Topology::kUnreachable;
+  out.diameter = out.connected ? diam : 0;
+  if (n == 0) return out;
+
+  const Round budget = WorldFactory::multihop_max_rounds(spec);
+  const std::uint64_t proc_base = sub_seed(spec, kMhProcSalt);
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FloodProcess::Options o;
+    o.is_source = i == 0;
+    // Always the CD-backoff policy: under a NoCD detector it degenerates
+    // to fixed-probability flooding, so the detector axis itself carries
+    // the with/without-collision-feedback contrast.
+    o.policy = FloodPolicy::kCdBackoff;
+    o.fresh_rounds = budget;
+    o.seed = hash_mix(proc_base ^ static_cast<std::uint64_t>(i));
+    procs.push_back(std::make_unique<FloodProcess>(o));
+  }
+  MultihopExecutor ex(std::move(topo), std::move(procs), detector_spec(spec),
+                      make_policy(spec), WorldFactory::make_link(spec),
+                      sub_seed(spec, kMhLinkSalt));
+  for (Round r = 1; r <= budget; ++r) {
+    ex.step();
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<FloodProcess&>(ex.process(i)).has_message()) ++covered;
+    }
+    out.covered = covered;
+    if (covered == n) {
+      out.full_coverage_round = r;
+      break;
+    }
+  }
+  finish_common(out, ex);
+  return out;
+}
+
+MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
+                              std::vector<bool>* heads_out) {
+  MultihopSummary out;
+  out.ran = true;
+  const std::size_t n = topo.size();
+  const std::uint32_t diam = topo.diameter();
+  out.connected = diam != Topology::kUnreachable;
+  out.diameter = out.connected ? diam : 0;
+  if (n == 0) return out;
+
+  const Round budget = WorldFactory::multihop_max_rounds(spec);
+  const std::uint64_t proc_base = sub_seed(spec, kMhProcSalt);
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MisProcess::Options o;
+    o.seed = hash_mix(proc_base ^ static_cast<std::uint64_t>(i));
+    procs.push_back(std::make_unique<MisProcess>(o));
+  }
+  MultihopExecutor ex(std::move(topo), std::move(procs), detector_spec(spec),
+                      make_policy(spec), WorldFactory::make_link(spec),
+                      sub_seed(spec, kMhLinkSalt));
+  for (Round r = 1; r <= budget; ++r) {
+    ex.step();
+    bool all_settled = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!static_cast<MisProcess&>(ex.process(i)).settled()) {
+        all_settled = false;
+        break;
+      }
+    }
+    if (all_settled) {
+      out.mis_settle_round = r;
+      break;
+    }
+  }
+
+  std::vector<bool> heads(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    heads[i] = static_cast<MisProcess&>(ex.process(i)).state() ==
+               MisProcess::State::kHead;
+    if (heads[i]) ++out.mis_size;
+  }
+  const Topology& graph = ex.topology();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (heads[i]) {
+      for (std::uint32_t j : graph.neighbors(i)) {
+        if (heads[j]) out.mis_independent = false;
+      }
+    } else {
+      bool dominated = false;
+      for (std::uint32_t j : graph.neighbors(i)) {
+        if (heads[j]) dominated = true;
+      }
+      if (!dominated) out.mis_maximal = false;
+    }
+  }
+  finish_common(out, ex);
+  if (heads_out) *heads_out = std::move(heads);
+  return out;
+}
+
+}  // namespace
+
+MultihopSummary WorldFactory::run_multihop(const ScenarioSpec& spec) {
+  Topology topo = make_topology(spec);
+  switch (spec.workload) {
+    case WorkloadKind::kConsensus:
+      break;  // not a multihop workload; fall through to the empty summary
+    case WorkloadKind::kFlood:
+      return run_flood(spec, std::move(topo));
+    case WorkloadKind::kMis:
+      return run_mis_phase(spec, std::move(topo), nullptr);
+    case WorkloadKind::kMisThenConsensus: {
+      std::vector<bool> heads;
+      MultihopSummary out = run_mis_phase(spec, std::move(topo), &heads);
+      std::size_t k = 0;
+      for (bool h : heads) k += h;
+      if (k > 0) {
+        // Phase 2: the elected clusterheads form the single-hop backbone;
+        // run the spec's consensus stack among them with a derived seed.
+        ScenarioSpec sub = spec;
+        sub.topology = TopologyKind::kSingleHop;
+        sub.workload = WorkloadKind::kConsensus;
+        sub.n = static_cast<std::uint32_t>(k);
+        sub.seed = sub_seed(spec, kPhase2Salt);
+        out.consensus = run_consensus(make(sub), max_rounds(sub));
+      }
+      return out;
+    }
+  }
+  return MultihopSummary{};
 }
 
 }  // namespace ccd::exp

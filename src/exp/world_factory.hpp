@@ -1,21 +1,52 @@
 // WorldFactory: materialize a World (Definition 10's "system") from a
 // ScenarioSpec.  This is the single place where algorithm / detector /
 // contention-manager / adversary objects are constructed for experiments;
-// the benches and examples used to each hand-roll this wiring.
+// the benches and examples used to each hand-roll this wiring.  Multihop
+// specs (workload != consensus) are materialized into a Topology +
+// MultihopExecutor instead and executed by run_multihop.
 //
 // Determinism contract: everything stochastic in the produced World derives
 // from spec.seed through fixed per-component streams (hash_mix with
 // distinct salts), so the same spec always yields the same execution --
-// independent of which thread of a sweep builds and runs it.
+// independent of which thread of a sweep builds and runs it.  The multihop
+// path obeys the same contract: topology generation, the link model and
+// every process RNG derive from spec.seed.
 #pragma once
 
 #include <memory>
+#include <optional>
 
+#include "consensus/harness.hpp"
 #include "exp/scenario_spec.hpp"
 #include "model/process.hpp"
+#include "multihop/mh_executor.hpp"
 #include "sim/world.hpp"
 
 namespace ccd::exp {
+
+/// Result of one multihop workload run (flood / mis / mis-then-consensus).
+struct MultihopSummary {
+  bool ran = false;        ///< false for consensus-workload records
+  bool connected = false;
+  std::uint32_t diameter = 0;  ///< hop diameter; valid iff connected
+  Round rounds_executed = 0;   ///< multihop rounds (excludes phase 2)
+  std::uint64_t broadcasts = 0;
+  double messages_per_node = 0.0;
+
+  // Flood workload.
+  std::size_t covered = 0;  ///< processes holding the message at the end
+  Round full_coverage_round = kNeverRound;
+
+  // MIS workloads.
+  std::size_t mis_size = 0;
+  Round mis_settle_round = kNeverRound;  ///< first round all nodes settled
+  bool mis_independent = true;  ///< no two adjacent heads
+  bool mis_maximal = true;      ///< every node is a head or has one adjacent
+
+  /// mis-then-consensus only: the single-hop consensus phase among the
+  /// elected clusterheads.
+  std::optional<RunSummary> consensus;
+};
 
 class WorldFactory {
  public:
@@ -37,6 +68,29 @@ class WorldFactory {
   /// Round budget for a run: spec.max_rounds when set, otherwise a bound
   /// generous enough for every algorithm at this |V| and CST.
   static Round max_rounds(const ScenarioSpec& spec);
+
+  // --- multihop path ------------------------------------------------------
+
+  /// Materialize the communication graph.  Deterministic in the spec: the
+  /// random-geometric generator seeds from spec.seed, and retries derived
+  /// seeds (bounded) until the graph is connected, so at the documented
+  /// density floor (>= 2.0) sweeps never waste cells on unreachable nodes.
+  static Topology make_topology(const ScenarioSpec& spec);
+
+  /// Map the spec's loss adversary onto multihop link physics:
+  ///   noloss       -> {1.0, 1.0}   perfect channel, capture always resolves
+  ///   ecf          -> {0.95, 0.05} harsh capture-effect regime (E14)
+  ///   prob         -> {p_deliver, p_deliver/2}
+  ///   unrestricted -> {0.5, 0.0}   lossy, contention never resolves
+  static MhLinkModel make_link(const ScenarioSpec& spec);
+
+  /// Round budget for a multihop run: spec.max_rounds when set, else a
+  /// bound linear in n (flood progress is Omega(diameter) <= n rounds).
+  static Round multihop_max_rounds(const ScenarioSpec& spec);
+
+  /// Execute the spec's multihop workload to completion (or budget).
+  /// Requires spec.workload != kConsensus.
+  static MultihopSummary run_multihop(const ScenarioSpec& spec);
 };
 
 }  // namespace ccd::exp

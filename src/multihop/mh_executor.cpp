@@ -35,6 +35,7 @@ void MultihopExecutor::step() {
     sent_[i] = processes_[i]->halted()
                    ? std::nullopt
                    : processes_[i]->on_send(r, CmAdvice::kActive);
+    if (sent_[i].has_value()) ++total_broadcasts_;
   }
 
   // Delivery: per receiver, over its broadcasting neighbors.

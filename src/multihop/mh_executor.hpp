@@ -55,6 +55,10 @@ class MultihopExecutor {
   }
   CdAdvice last_cd(std::size_t i) const { return last_cd_[i]; }
 
+  /// Broadcasts attempted over all executed rounds (the energy/message
+  /// cost the Section 1.1 literature budgets per node).
+  std::uint64_t total_broadcasts() const { return total_broadcasts_; }
+
  private:
   Topology topology_;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -63,6 +67,7 @@ class MultihopExecutor {
   MhLinkModel link_;
   Rng rng_;
   Round round_ = 0;
+  std::uint64_t total_broadcasts_ = 0;
 
   // Scratch.
   std::vector<std::optional<Message>> sent_;

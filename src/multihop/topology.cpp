@@ -28,6 +28,28 @@ Topology Topology::line(std::size_t n) {
   return t;
 }
 
+Topology Topology::ring(std::size_t n) {
+  if (n < 3) return line(n);
+  Topology t(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) t.add_edge(i, i + 1);
+  t.add_edge(n - 1, 0);
+  for (auto& adj : t.adjacency_) std::sort(adj.begin(), adj.end());
+  return t;
+}
+
+Topology Topology::grid_n(std::size_t n) {
+  Topology t(n);
+  std::size_t width = 1;
+  while (width * width < n) ++width;  // ceil(sqrt(n))
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool row_end = (i % width) + 1 == width;
+    if (!row_end && i + 1 < n) t.add_edge(i, i + 1);
+    if (i + width < n) t.add_edge(i, i + width);
+  }
+  for (auto& adj : t.adjacency_) std::sort(adj.begin(), adj.end());
+  return t;
+}
+
 Topology Topology::grid(std::size_t width, std::size_t height) {
   Topology t(width * height);
   auto id = [width](std::size_t x, std::size_t y) { return y * width + x; };

@@ -21,7 +21,13 @@ class Topology {
  public:
   static Topology clique(std::size_t n);
   static Topology line(std::size_t n);
+  /// Cycle over n nodes (degenerates to line(n) for n < 3).
+  static Topology ring(std::size_t n);
   static Topology grid(std::size_t width, std::size_t height);
+  /// Row-major grid over EXACTLY n nodes with ceil(sqrt(n)) columns; the
+  /// last row may be partial.  This is the spec-driven form (the sweep
+  /// engine's n axis does not factor nicely into width x height).
+  static Topology grid_n(std::size_t n);
   /// n points uniform in the unit square, edge iff distance <= radius.
   static Topology random_geometric(std::size_t n, double radius,
                                    std::uint64_t seed);

@@ -40,6 +40,41 @@ TEST(Topology, GridStructure) {
   EXPECT_EQ(t.diameter(), 5u);
 }
 
+TEST(Topology, RingStructure) {
+  const Topology t = Topology::ring(8);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.diameter(), 4u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(t.degree(i), 2u);
+  EXPECT_TRUE(t.adjacent(7, 0));
+  EXPECT_EQ(t.distance(0, 5), 3u);  // the wrap-around is shorter
+}
+
+TEST(Topology, RingDegeneratesToLineBelowThree) {
+  EXPECT_EQ(Topology::ring(2).diameter(), 1u);
+  EXPECT_EQ(Topology::ring(1).diameter(), 0u);
+  EXPECT_TRUE(Topology::ring(0).connected());
+}
+
+TEST(Topology, GridNCoversExactlyNNodes) {
+  for (std::size_t n : {1u, 2u, 5u, 8u, 9u, 12u, 17u, 36u}) {
+    const Topology t = Topology::grid_n(n);
+    EXPECT_EQ(t.size(), n) << n;
+    EXPECT_TRUE(t.connected()) << n;
+  }
+  // A perfect square matches the rectangular generator.
+  const Topology square = Topology::grid_n(9);
+  const Topology rect = Topology::grid(3, 3);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(square.neighbors(i), rect.neighbors(i));
+  }
+  // Partial last row: n=8, width 3 -> rows {0,1,2},{3,4,5},{6,7}.
+  const Topology partial = Topology::grid_n(8);
+  EXPECT_TRUE(partial.adjacent(6, 7));
+  EXPECT_TRUE(partial.adjacent(4, 7));
+  EXPECT_FALSE(partial.adjacent(5, 7));
+  EXPECT_EQ(partial.degree(7), 2u);
+}
+
 TEST(Topology, SingletonAndEmpty) {
   const Topology one = Topology::line(1);
   EXPECT_TRUE(one.connected());

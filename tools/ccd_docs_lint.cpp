@@ -1,0 +1,131 @@
+// ccd_docs_lint: fail CI on broken relative links in markdown files.
+//
+// Scans each argument for inline links `[text](target)`, ignores absolute
+// URLs (scheme://, mailto:) and pure in-page anchors (#...), strips any
+// #fragment from relative targets, and checks that the referenced path
+// exists relative to the markdown file's directory.  Code spans and fenced
+// code blocks are skipped so JSON/code examples can't produce false
+// positives.
+//
+// Usage: ccd_docs_lint README.md docs/*.md
+// Exit status: 0 = all links resolve, 1 = broken links (listed on stderr),
+// 2 = usage / unreadable input.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Link {
+  std::string target;
+  std::size_t line;
+};
+
+bool is_external(const std::string& target) {
+  if (target.rfind("mailto:", 0) == 0) return true;
+  const std::size_t scheme = target.find("://");
+  // A scheme must precede any path separator to count as a URL.
+  return scheme != std::string::npos &&
+         target.find('/') >= scheme;
+}
+
+// Character positions of LINE that sit inside a code span.  Backticks are
+// paired left to right (CommonMark: an unmatched backtick renders
+// literally and opens no span), so a stray backtick cannot silently
+// disable checking for the rest of the line.
+std::vector<bool> code_span_mask(const std::string& line) {
+  std::vector<std::size_t> ticks;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '`') ticks.push_back(i);
+  }
+  std::vector<bool> mask(line.size(), false);
+  for (std::size_t p = 0; p + 1 < ticks.size(); p += 2) {
+    for (std::size_t i = ticks[p]; i <= ticks[p + 1]; ++i) mask[i] = true;
+  }
+  return mask;
+}
+
+// Extract `[text](target)` links outside code spans/fences.  A tiny state
+// machine is enough: markdown here is hand-written docs, not the full spec.
+std::vector<Link> extract_links(const std::string& text) {
+  std::vector<Link> out;
+  std::size_t line_number = 0;
+  bool in_fence = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_number;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    if (line.rfind("```", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+
+    const std::vector<bool> span = code_span_mask(line);
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+      if (line[i] != ']' || line[i + 1] != '(' || span[i]) continue;
+      const std::size_t close = line.find(')', i + 2);
+      if (close == std::string::npos) continue;
+      std::string target = line.substr(i + 2, close - i - 2);
+      // Strip an optional "title" part: [t](path "title")
+      const std::size_t space = target.find(' ');
+      if (space != std::string::npos) target.resize(space);
+      if (!target.empty()) out.push_back({target, line_number});
+    }
+    if (eol == text.size()) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ccd_docs_lint FILE.md [FILE.md ...]\n");
+    return 2;
+  }
+  int broken = 0;
+  for (int a = 1; a < argc; ++a) {
+    const fs::path md = argv[a];
+    std::ifstream in(md, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "ccd_docs_lint: cannot read %s\n",
+                   md.string().c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    for (const Link& link : extract_links(text)) {
+      if (is_external(link.target)) continue;
+      std::string path = link.target;
+      const std::size_t hash = path.find('#');
+      if (hash != std::string::npos) path.resize(hash);
+      if (path.empty()) continue;  // pure in-page anchor
+      const fs::path resolved = md.parent_path() / path;
+      std::error_code ec;
+      if (!fs::exists(resolved, ec)) {
+        std::fprintf(stderr, "%s:%zu: broken link '%s' (-> %s)\n",
+                     md.string().c_str(), link.line, link.target.c_str(),
+                     resolved.string().c_str());
+        ++broken;
+      }
+    }
+  }
+  if (broken > 0) {
+    std::fprintf(stderr, "ccd_docs_lint: %d broken link%s\n", broken,
+                 broken == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,9 @@
 //   ccd_sweep --grid default --threads 8 --json report.json
 //   ccd_sweep --algs alg1,alg2 --detectors maj-oac,zero-oac --csts 5,20
 //             --n 4,16 --seeds 10 --csv sweep.csv
+//   ccd_sweep --grid multihop --threads 8 --json mh.json
+//   ccd_sweep --workloads flood --topologies rgg --densities 2,3,4
+//             --n 16,32,64 --seeds 5
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +49,10 @@ axis overrides (comma-separated; replace the named grid's axis):
   --n LIST             process counts, e.g. 4,8,16
   --values LIST        |V| per cell, e.g. 16,256
   --csts LIST          CST targets, e.g. 5,20
+  --topologies LIST    singlehop,line,ring,grid,rgg
+  --workloads LIST     consensus,flood,mis,mis-then-consensus
+  --densities LIST     rgg density factors (1.0 = connectivity threshold;
+                       floor 2.0), e.g. 2,3; inert for other topologies
 
 scalar knobs:
   --seeds N            seeds per cell (default: grid's)
@@ -104,6 +111,22 @@ bool parse_uint_list(const std::string& arg, const char* what,
       return false;
     }
     out.push_back(static_cast<T>(v));
+  }
+  return true;
+}
+
+bool parse_double_list(const std::string& arg, const char* what,
+                       std::vector<double>& out) {
+  out.clear();
+  for (const std::string& tok : split_csv(arg)) {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0' || tok.empty()) {
+      std::fprintf(stderr, "ccd_sweep: bad %s value '%s'\n", what,
+                   tok.c_str());
+      return false;
+    }
+    out.push_back(v);
   }
   return true;
 }
@@ -216,6 +239,15 @@ int main(int argc, char** argv) {
     } else if (flag == "--csts") {
       const char* v = next();
       ok = v && parse_uint_list(v, "cst", grid.csts);
+    } else if (flag == "--topologies") {
+      const char* v = next();
+      ok = v && parse_list(v, "topology", parse_topology, grid.topologies);
+    } else if (flag == "--workloads") {
+      const char* v = next();
+      ok = v && parse_list(v, "workload", parse_workload, grid.workloads);
+    } else if (flag == "--densities") {
+      const char* v = next();
+      ok = v && parse_double_list(v, "density", grid.densities);
     } else if (flag == "--seeds") {
       const char* v = next();
       std::uint64_t seeds = 0;
@@ -268,6 +300,10 @@ int main(int argc, char** argv) {
 
   if (grid.seeds_per_cell == 0 || grid.num_cells() == 0) {
     std::fprintf(stderr, "ccd_sweep: empty grid\n");
+    return 2;
+  }
+  if (auto problem = grid.validate()) {
+    std::fprintf(stderr, "ccd_sweep: %s\n", problem->c_str());
     return 2;
   }
 
