@@ -94,6 +94,12 @@ std::vector<CellAggregate> aggregate(const SweepGrid& grid,
       if (!r.mh.connected) ++cell.disconnected;
       if (r.mh.connected) cell.diameter.add(r.mh.diameter);
       cell.messages_per_node.add(r.mh.messages_per_node);
+      cell.mh_crashes_applied += r.mh.crashes_applied;
+      if (r.mh.phase2_skipped) ++cell.phase2_skipped;
+      cell.surviving_fraction.add(
+          r.spec.n > 0 ? static_cast<double>(r.mh.survivors) /
+                             static_cast<double>(r.spec.n)
+                       : 0.0);
       if (r.spec.workload == WorkloadKind::kFlood) {
         if (r.mh.full_coverage_round != kNeverRound) {
           ++cell.full_coverage;
@@ -149,6 +155,11 @@ std::string aggregates_to_json(const SweepGrid& grid,
       out += ",\"disconnected\":" + std::to_string(cell.disconnected);
       out += ",\"full_coverage\":" + std::to_string(cell.full_coverage);
       out += ",\"mis_violations\":" + std::to_string(cell.mis_violations);
+      out += ",\"crashes_applied\":" +
+             std::to_string(cell.mh_crashes_applied);
+      out += ",\"phase2_skipped\":" + std::to_string(cell.phase2_skipped);
+      out += ",";
+      append_stats_json(out, "surviving_fraction", cell.surviving_fraction);
       out += ",";
       append_stats_json(out, "coverage_rounds", cell.coverage_rounds);
       out += ",";
@@ -179,8 +190,10 @@ std::string aggregates_to_csv(const std::vector<CellAggregate>& cells) {
       "after_cst_min,after_cst_mean,after_cst_p50,after_cst_p99,"
       "after_cst_max,"
       "mh_runs,disconnected,full_coverage,mis_violations,"
+      "mh_crashes_applied,phase2_skipped,"
       "coverage_mean,coverage_fraction_mean,mis_size_mean,"
-      "mis_settle_mean,messages_per_node_mean,diameter_mean\n";
+      "mis_settle_mean,messages_per_node_mean,diameter_mean,"
+      "surviving_fraction_mean\n";
   for (const CellAggregate& cell : cells) {
     const ScenarioSpec& s = cell.spec;
     out += std::to_string(cell.cell_index);
@@ -222,14 +235,16 @@ std::string aggregates_to_csv(const std::vector<CellAggregate>& cells) {
          {static_cast<std::uint64_t>(cell.mh_runs),
           static_cast<std::uint64_t>(cell.disconnected),
           static_cast<std::uint64_t>(cell.full_coverage),
-          static_cast<std::uint64_t>(cell.mis_violations)}) {
+          static_cast<std::uint64_t>(cell.mis_violations),
+          static_cast<std::uint64_t>(cell.mh_crashes_applied),
+          static_cast<std::uint64_t>(cell.phase2_skipped)}) {
       out += ",";
       out += std::to_string(v);
     }
     for (const Stats* st :
          {&cell.coverage_rounds, &cell.coverage_fraction, &cell.mis_size,
-          &cell.mis_settle_round, &cell.messages_per_node,
-          &cell.diameter}) {
+          &cell.mis_settle_round, &cell.messages_per_node, &cell.diameter,
+          &cell.surviving_fraction}) {
       out += ",";
       if (!st->empty()) out += fmt(st->mean());
     }
@@ -247,7 +262,8 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
   std::size_t runs = 0, consensus_runs = 0, solved = 0, agreement = 0,
               validity = 0, termination = 0;
   std::size_t mh_runs = 0, flood_runs = 0, full_coverage = 0,
-              mis_violations = 0, disconnected = 0;
+              mis_violations = 0, disconnected = 0, crashes = 0,
+              phase2_skipped = 0;
   for (const CellAggregate& cell : cells) {
     runs += cell.runs;
     if (consensus_phase(cell)) {
@@ -264,6 +280,8 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
     }
     mis_violations += cell.mis_violations;
     disconnected += cell.disconnected;
+    crashes += cell.mh_crashes_applied;
+    phase2_skipped += cell.phase2_skipped;
   }
   os << "grid: " << cells.size() << " cells x " << grid.seeds_per_cell
      << " seeds = " << runs << " runs (grid_seed " << grid.grid_seed
@@ -279,7 +297,10 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
       os << ", full coverage " << full_coverage << "/" << flood_runs;
     }
     os << ", MIS violations " << mis_violations << ", disconnected "
-       << disconnected << "\n";
+       << disconnected;
+    if (crashes > 0) os << ", crashes applied " << crashes;
+    if (phase2_skipped > 0) os << ", phase-2 skipped " << phase2_skipped;
+    os << "\n";
   }
   os << "\n";
 
@@ -320,9 +341,9 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
   }
 
   if (mh_runs > 0) {
-    AsciiTable table({"cell", "workload", "topology", "loss", "n", "density",
-                      "covered", "cover-mean", "MIS-mean", "msgs/node",
-                      "diam-mean"});
+    AsciiTable table({"cell", "workload", "topology", "loss", "fault", "n",
+                      "density", "covered", "cover-mean", "MIS-mean",
+                      "msgs/node", "surv-mean", "diam-mean"});
     for (const CellAggregate& cell : cells) {
       if (cell.mh_runs == 0) continue;
       if (cells.size() > 24 && perfect(cell)) continue;
@@ -330,7 +351,7 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
       table.add(
           cell.cell_index, to_string(cell.spec.workload),
           to_string(cell.spec.topology), to_string(cell.spec.loss),
-          cell.spec.n, fmt(cell.spec.density),
+          to_string(cell.spec.fault), cell.spec.n, fmt(cell.spec.density),
           flood ? std::to_string(cell.full_coverage) + "/" +
                       std::to_string(cell.mh_runs)
                 : std::string("-"),
@@ -341,6 +362,9 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
           cell.messages_per_node.empty()
               ? std::string("-")
               : fmt(cell.messages_per_node.mean()),
+          cell.surviving_fraction.empty()
+              ? std::string("-")
+              : fmt(cell.surviving_fraction.mean()),
           cell.diameter.empty() ? std::string("-")
                                 : fmt(cell.diameter.mean()));
     }

@@ -35,12 +35,19 @@ struct CellAggregate {
   // populate BOTH groups (phase 2 is a real consensus run among the heads).
   std::size_t mh_runs = 0;         ///< records with a multihop phase
   std::size_t disconnected = 0;    ///< topology not connected (rgg only)
-  std::size_t full_coverage = 0;   ///< flood runs that reached every node
+  std::size_t full_coverage = 0;   ///< flood runs covering every survivor
   std::size_t mis_violations = 0;  ///< independence or maximality broken
 
+  // Crash metrics over the multihop phase (spec.fault != none).  Coverage
+  // and MIS statistics above are already conditioned on survivors.
+  std::size_t mh_crashes_applied = 0;  ///< crashes landed, total over runs
+  std::size_t phase2_skipped = 0;      ///< mis-then-consensus: no surviving
+                                       ///< head, so phase 2 never ran
+  Stats surviving_fraction;            ///< alive at end / n, all mh runs
+
   Stats coverage_rounds;     ///< flood: rounds to full coverage (when reached)
-  Stats coverage_fraction;   ///< flood: nodes reached / n, all runs
-  Stats mis_size;            ///< heads elected
+  Stats coverage_fraction;   ///< flood: survivors reached / n, all runs
+  Stats mis_size;            ///< surviving heads elected
   Stats mis_settle_round;    ///< first all-settled round (when settled)
   Stats messages_per_node;   ///< broadcasts / n over the multihop phase
   Stats diameter;            ///< hop diameter, connected runs only

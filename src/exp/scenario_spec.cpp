@@ -1,10 +1,14 @@
 #include "exp/scenario_spec.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
+
+#include "util/bitcodec.hpp"
 
 namespace ccd::exp {
 
@@ -31,10 +35,25 @@ std::string format_double(double d) {
   return buf;
 }
 
+/// Advance `i` past a double-quoted JSON string (`i` must point at the
+/// opening quote, escapes are honoured); false on unterminated input.
+bool skip_quoted(const std::string& text, std::size_t& i) {
+  ++i;
+  while (i < text.size() && text[i] != '"') {
+    if (text[i] == '\\' && i + 1 < text.size()) ++i;
+    ++i;
+  }
+  if (i >= text.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
 // --- minimal flat-JSON scanner ---------------------------------------------
-// Accepts one object of string/number members; no nesting, no arrays.  That
-// is all a ScenarioSpec ever serializes to, and keeping the parser tiny
-// beats pulling in a JSON dependency the container may not have.
+// Accepts one object of string/number members plus bracket-balanced array
+// members captured as raw text (the crash_schedule member, re-parsed by
+// parse_crash_schedule below).  That is all a ScenarioSpec ever serializes
+// to, and keeping the parser tiny beats pulling in a JSON dependency the
+// container may not have.
 struct FlatJson {
   std::map<std::string, std::string> members;  // raw value text (unquoted)
 
@@ -81,6 +100,26 @@ struct FlatJson {
         auto value = parse_string();
         if (!value) return std::nullopt;
         out.members[*key] = *value;
+      } else if (i < text.size() && text[i] == '[') {
+        // Array member: capture the bracket-balanced raw text (strings
+        // inside may contain brackets; skip them whole).
+        const std::size_t start = i;
+        int depth = 0;
+        while (i < text.size()) {
+          if (text[i] == '"') {
+            if (!skip_quoted(text, i)) return std::nullopt;
+            continue;
+          }
+          if (text[i] == '[') {
+            ++depth;
+          } else if (text[i] == ']') {
+            if (--depth == 0) break;
+          }
+          ++i;
+        }
+        if (i >= text.size()) return std::nullopt;  // unbalanced
+        ++i;  // consume ']'
+        out.members[*key] = text.substr(start, i - start);
       } else {
         std::size_t start = i;
         while (i < text.size() && text[i] != ',' && text[i] != '}' &&
@@ -106,7 +145,121 @@ struct FlatJson {
   }
 };
 
+// Parse the raw text of a "crash_schedule" array member:
+//   [{"round":3,"process":0,"point":"before-send"}, ...]
+// Every failure is keyed down to the offending entry: unknown keys are
+// rejected (a typo like "proces" must not silently yield process 0), and
+// round/process are required.
+std::optional<std::vector<CrashEvent>> parse_crash_schedule(
+    const std::string& raw, std::string* error) {
+  auto fail = [&](const std::string& message)
+      -> std::optional<std::vector<CrashEvent>> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < raw.size() && std::isspace(static_cast<unsigned char>(raw[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= raw.size() || raw[i] != '[') {
+    return fail("crash_schedule must be a JSON array");
+  }
+  ++i;
+  std::vector<CrashEvent> events;
+  skip_ws();
+  if (i < raw.size() && raw[i] == ']') return events;  // empty schedule
+  while (true) {
+    skip_ws();
+    const std::size_t entry = events.size();
+    auto entry_tag = [&] {
+      return "crash_schedule[" + std::to_string(entry) + "]";
+    };
+    if (i >= raw.size() || raw[i] != '{') {
+      return fail(entry_tag() + " must be an object");
+    }
+    // Events hold no nested structure, so the entry ends at the next '}'
+    // outside a string.
+    std::size_t end = i;
+    while (end < raw.size() && raw[end] != '}') {
+      if (raw[end] == '"') {
+        if (!skip_quoted(raw, end)) {
+          return fail(entry_tag() + " is malformed");
+        }
+        continue;
+      }
+      ++end;
+    }
+    if (end >= raw.size()) return fail(entry_tag() + " is malformed");
+    auto flat = FlatJson::parse(raw.substr(i, end - i + 1));
+    if (!flat) return fail(entry_tag() + " is malformed");
+    i = end + 1;
+
+    CrashEvent event;
+    bool have_round = false, have_process = false;
+    for (const auto& [key, value] : flat->members) {
+      if (key == "round" || key == "process") {
+        char* num_end = nullptr;
+        const std::uint64_t v = std::strtoull(value.c_str(), &num_end, 10);
+        if (!num_end || *num_end != '\0' || value.empty() ||
+            v > std::numeric_limits<std::uint32_t>::max()) {
+          return fail("bad value '" + value + "' for key '" + key + "' in " +
+                      entry_tag() + " (expected an unsigned 32-bit integer)");
+        }
+        if (key == "round") {
+          event.round = static_cast<Round>(v);
+          have_round = true;
+        } else {
+          event.process = static_cast<ProcessId>(v);
+          have_process = true;
+        }
+      } else if (key == "point") {
+        auto point = parse_crash_point(value);
+        if (!point) {
+          return fail("bad value '" + value + "' for key 'point' in " +
+                      entry_tag() + " (expected before-send or after-send)");
+        }
+        event.point = *point;
+      } else {
+        return fail("unknown key '" + key + "' in " + entry_tag() +
+                    " (expected round, process, point)");
+      }
+    }
+    if (!have_round) return fail(entry_tag() + " missing key 'round'");
+    if (!have_process) return fail(entry_tag() + " missing key 'process'");
+    events.push_back(event);
+
+    skip_ws();
+    if (i < raw.size() && raw[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < raw.size() && raw[i] == ']') {
+      ++i;
+      skip_ws();
+      if (i != raw.size()) break;  // trailing junk
+      return events;
+    }
+    break;
+  }
+  return fail("crash_schedule array is malformed");
+}
+
 }  // namespace
+
+const char* to_string(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kBeforeSend: return "before-send";
+    case CrashPoint::kAfterSend: return "after-send";
+  }
+  return "?";
+}
+
+std::optional<CrashPoint> parse_crash_point(const std::string& s) {
+  return parse_enum(s, {CrashPoint::kBeforeSend, CrashPoint::kAfterSend});
+}
 
 const char* to_string(AlgKind k) {
   switch (k) {
@@ -171,6 +324,7 @@ const char* to_string(FaultKind k) {
   switch (k) {
     case FaultKind::kNone: return "none";
     case FaultKind::kRandomCrash: return "random-crash";
+    case FaultKind::kScheduled: return "scheduled";
   }
   return "?";
 }
@@ -243,7 +397,8 @@ std::optional<LossKind> parse_loss(const std::string& s) {
 }
 
 std::optional<FaultKind> parse_fault(const std::string& s) {
-  return parse_enum(s, {FaultKind::kNone, FaultKind::kRandomCrash});
+  return parse_enum(s, {FaultKind::kNone, FaultKind::kRandomCrash,
+                        FaultKind::kScheduled});
 }
 
 std::optional<InitKind> parse_init(const std::string& s) {
@@ -288,6 +443,23 @@ std::string ScenarioSpec::to_json() const {
   str("cm", to_string(cm));
   str("loss", to_string(loss));
   str("fault", to_string(fault));
+  // The schedule members are omitted when empty so pre-existing specs (and
+  // their cell keys) keep their exact bytes.
+  if (!crash_schedule.empty()) {
+    out += "\"crash_schedule\":[";
+    for (const CrashEvent& e : crash_schedule) {
+      out += "{\"round\":" + std::to_string(e.round);
+      out += ",\"process\":" + std::to_string(e.process);
+      out += ",\"point\":\"";
+      out += to_string(e.point);
+      out += "\"},";
+    }
+    out.back() = ']';
+    out += ",";
+  }
+  if (!crash_schedule_name.empty()) {
+    str("crash_schedule_name", crash_schedule_name.c_str());
+  }
   str("init", to_string(init));
   str("chaos", to_string(chaos));
   str("topology", to_string(topology));
@@ -372,7 +544,29 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json,
   read_enum("cm", parse_cm, spec.cm, "nocm, wakeup, leader or backoff");
   read_enum("loss", parse_loss, spec.loss,
             "noloss, ecf, prob or unrestricted");
-  read_enum("fault", parse_fault, spec.fault, "none or random-crash");
+  read_enum("fault", parse_fault, spec.fault,
+            "none, random-crash or scheduled");
+  if (const std::string* raw = flat->find("crash_schedule")) {
+    std::string schedule_error;
+    auto events = parse_crash_schedule(*raw, &schedule_error);
+    if (events) {
+      spec.crash_schedule = std::move(*events);
+    } else {
+      if (ok && error) *error = schedule_error;
+      ok = false;
+    }
+  }
+  if (const std::string* raw = flat->find("crash_schedule_name")) {
+    // A typo'd generator name must not silently expand to an empty
+    // schedule (a failure-free run masquerading as a faulted one).
+    const auto known = crash_schedule_names();
+    if (std::find(known.begin(), known.end(), *raw) != known.end()) {
+      spec.crash_schedule_name = *raw;
+    } else {
+      report("crash_schedule_name", *raw,
+             "a known generator: leaf-then-die, source-dies");
+    }
+  }
   read_enum("init", parse_init, spec.init, "random, split or same");
   read_enum("chaos", parse_chaos, spec.chaos, "calm or chaotic");
   read_enum("topology", parse_topology, spec.topology,
@@ -397,6 +591,59 @@ std::string ScenarioSpec::cell_key() const {
   ScenarioSpec normalized = *this;
   normalized.seed = 0;
   return normalized.to_json();
+}
+
+std::vector<std::string> crash_schedule_names() {
+  return {"leaf-then-die", "source-dies"};
+}
+
+std::optional<std::vector<CrashEvent>> generate_crash_schedule(
+    const std::string& name, const ScenarioSpec& spec) {
+  if (name == "leaf-then-die") {
+    // Theorem 3's worst case: the adversary lets each doomed process
+    // participate for one full "lead everyone to a leaf" window of the
+    // value BST -- ceil(lg|V|)+1 rounds -- then the process broadcasts
+    // once more and dies (kAfterSend, the literal Definition 11 crash).
+    // Highest ids die first; process 0 is the guaranteed survivor.
+    std::vector<CrashEvent> events;
+    if (spec.n < 2) return events;
+    const Round gap =
+        ceil_log2(std::max<std::uint64_t>(spec.num_values, 2)) + 1;
+    for (std::uint32_t k = 0; k + 1 < spec.n; ++k) {
+      CrashEvent e;
+      e.round = (static_cast<Round>(k) + 1) * gap;
+      e.process = spec.n - 1 - k;
+      e.point = CrashPoint::kAfterSend;
+      events.push_back(e);
+    }
+    return events;
+  }
+  if (name == "source-dies") {
+    // The adversarial broadcast opener: node 0 (the flood source) speaks
+    // in rounds 1 and 2, then crashes after its round-2 send -- whatever
+    // it managed to seed must carry the workload.
+    std::vector<CrashEvent> events;
+    if (spec.n == 0) return events;
+    CrashEvent e;
+    e.round = 2;
+    e.process = 0;
+    e.point = CrashPoint::kAfterSend;
+    events.push_back(e);
+    return events;
+  }
+  return std::nullopt;
+}
+
+std::vector<CrashEvent> resolved_crash_schedule(const ScenarioSpec& spec) {
+  if (!spec.crash_schedule_name.empty()) {
+    if (auto events = generate_crash_schedule(spec.crash_schedule_name, spec)) {
+      return *events;
+    }
+    // Unknown name: rejected upstream by both ScenarioSpec::from_json and
+    // SweepGrid::validate, so this is only reachable from hand-built specs.
+    return {};
+  }
+  return spec.crash_schedule;
 }
 
 }  // namespace ccd::exp

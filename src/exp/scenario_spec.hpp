@@ -15,7 +15,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "fault/failure_adversary.hpp"
 #include "model/types.hpp"
 
 namespace ccd::exp {
@@ -109,6 +111,9 @@ enum class FaultKind : std::uint8_t {
   kRandomCrash,  ///< iid per-round crashes with probability crash_p up to
                  ///< CST, at least one survivor (Theorem 3's "failures
                  ///< eventually cease" regime).
+  kScheduled,    ///< Deterministic ScheduledCrash driven by the spec's
+                 ///< crash_schedule / crash_schedule_name (the worst-case
+                 ///< shapes of Theorem 3, e.g. leaf-then-die).
 };
 
 /// Initial value assignment (the init_i(v) states of Definition 2).
@@ -155,6 +160,9 @@ enum class WorkloadKind : std::uint8_t {
                      ///< clusterheads on the topology, then run single-hop
                      ///< consensus among the heads.
 };
+
+const char* to_string(CrashPoint p);  ///< "before-send" / "after-send"
+std::optional<CrashPoint> parse_crash_point(const std::string& s);
 
 const char* to_string(AlgKind k);
 const char* to_string(DetectorKind k);
@@ -206,6 +214,16 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;          ///< run seed; all component RNG streams
                                    ///< derive from it
 
+  /// Explicit deterministic crash schedule (fault == kScheduled).
+  /// Serialized as a "crash_schedule" JSON array of
+  /// {"round":R,"process":P,"point":"before-send"|"after-send"} objects.
+  std::vector<CrashEvent> crash_schedule;
+  /// Named schedule generator (see crash_schedule_names()); when set it
+  /// takes precedence over the explicit list and is expanded
+  /// deterministically from this spec's n / num_values at factory time,
+  /// so a cell stays reproducible from its JSON alone.
+  std::string crash_schedule_name;
+
   /// Flat JSON object, stable key order; parse() inverts it exactly.
   std::string to_json() const;
   static std::optional<ScenarioSpec> from_json(const std::string& json);
@@ -221,5 +239,23 @@ struct ScenarioSpec {
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
+
+/// Named worst-case crash-schedule generators, sweepable as a grid axis:
+///   "leaf-then-die" -- Theorem 3's shape: each crasher participates for
+///       one "lead everyone to a BST leaf" window (ceil(lg|V|)+1 rounds),
+///       broadcasts once more, then dies (kAfterSend); processes n-1 down
+///       to 1 crash in turn, process 0 survives.
+///   "source-dies"   -- node 0 (the flood source) speaks in rounds 1-2 and
+///       dies after its round-2 send: the adversarial broadcast opener.
+std::vector<std::string> crash_schedule_names();
+
+/// Expand a named generator against a spec's n / num_values; nullopt for
+/// unknown names.  Deterministic: same (name, spec) -> same events.
+std::optional<std::vector<CrashEvent>> generate_crash_schedule(
+    const std::string& name, const ScenarioSpec& spec);
+
+/// The schedule a kScheduled fault actually runs: the named generator when
+/// crash_schedule_name is set, else the explicit crash_schedule list.
+std::vector<CrashEvent> resolved_crash_schedule(const ScenarioSpec& spec);
 
 }  // namespace ccd::exp

@@ -29,7 +29,7 @@ std::size_t SweepGrid::num_cells() const {
   return radix(algs) * radix(detectors) * radix(policies) * radix(cms) *
          radix(losses) * radix(faults) * radix(ns) * radix(value_spaces) *
          radix(csts) * radix(topologies) * radix(densities) *
-         radix(workloads);
+         radix(workloads) * radix(crash_schedules);
 }
 
 ScenarioSpec SweepGrid::spec_for_cell(std::size_t cell_index) const {
@@ -52,6 +52,7 @@ ScenarioSpec SweepGrid::spec_for_cell(std::size_t cell_index) const {
   apply_axis(index, densities, spec.density);
   apply_axis(index, topologies, spec.topology);
   apply_axis(index, workloads, spec.workload);
+  apply_axis(index, crash_schedules, spec.crash_schedule_name);
   spec.seed = 0;
   return spec;
 }
@@ -83,6 +84,43 @@ std::optional<std::string> SweepGrid::validate() const {
     return "consensus workload cells require topology=singlehop (the "
            "single-hop World has no topology; use workload "
            "mis-then-consensus for consensus over a multihop graph)";
+  }
+
+  // Scheduled-crash cells must have a schedule to run, and every named
+  // generator -- swept or set on the base -- must exist.
+  const auto known = crash_schedule_names();
+  auto known_name = [&](const std::string& name) {
+    return std::find(known.begin(), known.end(), name) != known.end();
+  };
+  std::string known_list;
+  for (const std::string& name : known) {
+    if (!known_list.empty()) known_list += ", ";
+    known_list += name;
+  }
+  for (const std::string& name : crash_schedules) {
+    if (!known_name(name)) {
+      return "bad value '" + name +
+             "' for axis 'crash_schedules' (known generators: " + known_list +
+             ")";
+    }
+  }
+  if (!base.crash_schedule_name.empty() &&
+      !known_name(base.crash_schedule_name)) {
+    return "bad value '" + base.crash_schedule_name +
+           "' for key 'crash_schedule_name' (known generators: " +
+           known_list + ")";
+  }
+  const bool any_scheduled =
+      faults.empty() ? base.fault == FaultKind::kScheduled
+                     : std::find(faults.begin(), faults.end(),
+                                 FaultKind::kScheduled) != faults.end();
+  const bool have_schedule = !crash_schedules.empty() ||
+                             !base.crash_schedule_name.empty() ||
+                             !base.crash_schedule.empty();
+  if (any_scheduled && !have_schedule) {
+    return "fault=scheduled cells need a crash schedule: set a "
+           "crash_schedules axis, base.crash_schedule_name, or an explicit "
+           "base.crash_schedule";
   }
   return std::nullopt;
 }
@@ -144,11 +182,13 @@ std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
     grid.detectors = {DetectorKind::kMajOAC, DetectorKind::kZeroOAC};
     grid.cms = {CmKind::kWakeup};
     grid.losses = {LossKind::kEcf};
-    grid.faults = {FaultKind::kNone, FaultKind::kRandomCrash};
+    grid.faults = {FaultKind::kNone, FaultKind::kRandomCrash,
+                   FaultKind::kScheduled};
     grid.ns = {4, 8, 16, 32};
     grid.base.num_values = 64;
     grid.base.cst_target = 12;
     grid.base.crash_p = 0.05;
+    grid.base.crash_schedule_name = "leaf-then-die";
     grid.base.chaos = ChaosKind::kChaotic;
     grid.seeds_per_cell = 4;
     return grid;
@@ -167,9 +207,16 @@ std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
     grid.densities = {2.0, 3.0};
     grid.losses = {LossKind::kNoLoss, LossKind::kEcf};
     grid.ns = {8, 16, 32};
+    // Crash axis: failure-free, iid crashes through CST, and Theorem 3's
+    // worst-case leaf-then-die schedule (sweep --crash-schedules to try
+    // other generators, e.g. source-dies).
+    grid.faults = {FaultKind::kNone, FaultKind::kRandomCrash,
+                   FaultKind::kScheduled};
+    grid.crash_schedules = {"leaf-then-die"};
     grid.base.detector = DetectorKind::kZeroAC;
     grid.base.num_values = 16;
     grid.base.cst_target = 5;
+    grid.base.crash_p = 0.05;
     grid.seeds_per_cell = 3;
     return grid;
   }

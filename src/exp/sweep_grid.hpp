@@ -36,6 +36,10 @@ struct SweepGrid {
   /// still enumerated, so keep this axis short unless sweeping rgg only).
   std::vector<double> densities;
   std::vector<WorkloadKind> workloads;
+  /// Named crash-schedule generators (see crash_schedule_names()), applied
+  /// to ScenarioSpec::crash_schedule_name; only cells whose fault is
+  /// `scheduled` act on it (inert otherwise, like densities for non-rgg).
+  std::vector<std::string> crash_schedules;
 
   std::uint32_t seeds_per_cell = 1;
   std::uint64_t grid_seed = 1;
@@ -57,10 +61,11 @@ struct SweepGrid {
   std::uint64_t seed_for_run(std::size_t run_index) const;
 
   /// Structural sanity: nullopt if the grid is well-formed, else a
-  /// human-readable reason.  Catches the one silent-footgun combination:
+  /// human-readable reason.  Catches the silent-footgun combinations:
   /// a consensus-workload cell on a non-singlehop topology (the single-hop
   /// World has no topology, so the axis would be ignored while reports
-  /// still label rows with it).
+  /// still label rows with it), a `scheduled` fault cell with no schedule
+  /// to run, and unknown crash-schedule generator names.
   std::optional<std::string> validate() const;
 
   /// Built-in grids: "smoke" (fast sanity), "default" (the broad

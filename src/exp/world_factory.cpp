@@ -188,6 +188,8 @@ std::unique_ptr<FailureAdversary> WorldFactory::make_fault(
       opts.seed = sub_seed(spec, kFaultSalt);
       return std::make_unique<RandomCrash>(opts);
     }
+    case FaultKind::kScheduled:
+      return std::make_unique<ScheduledCrash>(resolved_crash_schedule(spec));
   }
   return std::make_unique<NoFailures>();
 }
@@ -287,6 +289,8 @@ void finish_common(MultihopSummary& out, const MultihopExecutor& ex) {
       ex.size() > 0 ? static_cast<double>(ex.total_broadcasts()) /
                           static_cast<double>(ex.size())
                     : 0.0;
+  out.crashes_applied = ex.crashes_applied();
+  out.survivors = ex.num_alive();
 }
 
 MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo) {
@@ -313,17 +317,27 @@ MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo) {
     o.seed = hash_mix(proc_base ^ static_cast<std::uint64_t>(i));
     procs.push_back(std::make_unique<FloodProcess>(o));
   }
+  auto fault = WorldFactory::make_fault(spec);
+  // Theorem 3 accounting: success criteria are judged against the survivor
+  // set AFTER failures cease, so completion cannot be declared while the
+  // adversary still has crashes pending.
+  const Round quiesce = fault->last_crash_round();
   MultihopExecutor ex(std::move(topo), std::move(procs), detector_spec(spec),
                       make_policy(spec), WorldFactory::make_link(spec),
-                      sub_seed(spec, kMhLinkSalt));
+                      sub_seed(spec, kMhLinkSalt), std::move(fault));
   for (Round r = 1; r <= budget; ++r) {
     ex.step();
+    // Coverage is over survivors: a copy of the message held only by dead
+    // nodes cannot serve anyone.
     std::size_t covered = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (static_cast<FloodProcess&>(ex.process(i)).has_message()) ++covered;
+      if (ex.alive(i) &&
+          static_cast<FloodProcess&>(ex.process(i)).has_message()) {
+        ++covered;
+      }
     }
     out.covered = covered;
-    if (covered == n) {
+    if (ex.num_alive() > 0 && covered == ex.num_alive() && r >= quiesce) {
       out.full_coverage_round = r;
       break;
     }
@@ -351,32 +365,42 @@ MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
     o.seed = hash_mix(proc_base ^ static_cast<std::uint64_t>(i));
     procs.push_back(std::make_unique<MisProcess>(o));
   }
+  auto fault = WorldFactory::make_fault(spec);
+  const Round quiesce = fault->last_crash_round();
   MultihopExecutor ex(std::move(topo), std::move(procs), detector_spec(spec),
                       make_policy(spec), WorldFactory::make_link(spec),
-                      sub_seed(spec, kMhLinkSalt));
+                      sub_seed(spec, kMhLinkSalt), std::move(fault));
   for (Round r = 1; r <= budget; ++r) {
     ex.step();
+    // Settlement is judged over survivors, and -- as in Theorem 3's bound
+    // -- only after failures cease: a crash can un-dominate a node, so an
+    // early all-settled snapshot would overstate the clustering.
     bool all_settled = true;
     for (std::size_t i = 0; i < n; ++i) {
-      if (!static_cast<MisProcess&>(ex.process(i)).settled()) {
+      if (ex.alive(i) &&
+          !static_cast<MisProcess&>(ex.process(i)).settled()) {
         all_settled = false;
         break;
       }
     }
-    if (all_settled) {
+    if (all_settled && r >= quiesce) {
       out.mis_settle_round = r;
       break;
     }
   }
 
+  // Heads and the independence/maximality verdicts are conditioned on the
+  // surviving subgraph: dead heads elect nobody and dominate nobody.
   std::vector<bool> heads(n, false);
   for (std::size_t i = 0; i < n; ++i) {
-    heads[i] = static_cast<MisProcess&>(ex.process(i)).state() ==
-               MisProcess::State::kHead;
+    heads[i] = ex.alive(i) &&
+               static_cast<MisProcess&>(ex.process(i)).state() ==
+                   MisProcess::State::kHead;
     if (heads[i]) ++out.mis_size;
   }
   const Topology& graph = ex.topology();
   for (std::size_t i = 0; i < n; ++i) {
+    if (!ex.alive(i)) continue;
     if (heads[i]) {
       for (std::uint32_t j : graph.neighbors(i)) {
         if (heads[j]) out.mis_independent = false;
@@ -399,26 +423,46 @@ MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
 MultihopSummary WorldFactory::run_multihop(const ScenarioSpec& spec) {
   Topology topo = make_topology(spec);
   switch (spec.workload) {
-    case WorkloadKind::kConsensus:
-      break;  // not a multihop workload; fall through to the empty summary
+    case WorkloadKind::kConsensus: {
+      // Not a multihop workload: consensus runs on the single-hop World
+      // (WorldFactory::make + run_consensus).  Refuse loudly -- the same
+      // combination SweepGrid::validate() rejects -- instead of returning
+      // an indistinguishable empty summary.
+      MultihopSummary out;
+      out.error = std::string("workload consensus invalid for topology ") +
+                  to_string(spec.topology) +
+                  " (consensus runs on the single-hop World; use workload "
+                  "mis-then-consensus for consensus over a multihop graph)";
+      return out;
+    }
     case WorkloadKind::kFlood:
       return run_flood(spec, std::move(topo));
     case WorkloadKind::kMis:
       return run_mis_phase(spec, std::move(topo), nullptr);
     case WorkloadKind::kMisThenConsensus: {
-      std::vector<bool> heads;
+      std::vector<bool> heads;  // surviving heads only (dead heads are out)
       MultihopSummary out = run_mis_phase(spec, std::move(topo), &heads);
       std::size_t k = 0;
       for (bool h : heads) k += h;
       if (k > 0) {
-        // Phase 2: the elected clusterheads form the single-hop backbone;
-        // run the spec's consensus stack among them with a derived seed.
+        // Phase 2: the surviving clusterheads form the single-hop
+        // backbone; run the spec's consensus stack among them with a
+        // derived seed.  A scheduled crash pattern is a phase-1 artifact
+        // (its process ids name topology nodes, not head indices), so
+        // phase 2 drops it; random-crash carries over.
         ScenarioSpec sub = spec;
         sub.topology = TopologyKind::kSingleHop;
         sub.workload = WorkloadKind::kConsensus;
         sub.n = static_cast<std::uint32_t>(k);
         sub.seed = sub_seed(spec, kPhase2Salt);
+        if (sub.fault == FaultKind::kScheduled) {
+          sub.fault = FaultKind::kNone;
+          sub.crash_schedule.clear();
+          sub.crash_schedule_name.clear();
+        }
         out.consensus = run_consensus(make(sub), max_rounds(sub));
+      } else {
+        out.phase2_skipped = true;
       }
       return out;
     }

@@ -33,19 +33,34 @@ struct MultihopSummary {
   std::uint64_t broadcasts = 0;
   double messages_per_node = 0.0;
 
-  // Flood workload.
-  std::size_t covered = 0;  ///< processes holding the message at the end
-  Round full_coverage_round = kNeverRound;
+  // Crash-failure accounting (spec.fault over the multihop phase).
+  std::uint64_t crashes_applied = 0;  ///< crashes the adversary landed
+  std::size_t survivors = 0;          ///< processes alive at the end
 
-  // MIS workloads.
+  // Flood workload.  Coverage is conditioned on survivors: a message held
+  // only by the dead does not count.
+  std::size_t covered = 0;  ///< SURVIVING processes holding the message
+  Round full_coverage_round = kNeverRound;  ///< all survivors covered
+
+  // MIS workloads, conditioned on the surviving subgraph: heads are
+  // surviving heads, independence is among survivors, and maximality asks
+  // every surviving non-head for a surviving head neighbor.
   std::size_t mis_size = 0;
-  Round mis_settle_round = kNeverRound;  ///< first round all nodes settled
-  bool mis_independent = true;  ///< no two adjacent heads
-  bool mis_maximal = true;      ///< every node is a head or has one adjacent
+  Round mis_settle_round = kNeverRound;  ///< first round all survivors settled
+  bool mis_independent = true;  ///< no two adjacent surviving heads
+  bool mis_maximal = true;      ///< every survivor is a head or dominated
 
   /// mis-then-consensus only: the single-hop consensus phase among the
-  /// elected clusterheads.
+  /// SURVIVING clusterheads.
   std::optional<RunSummary> consensus;
+  /// mis-then-consensus: true when zero heads survived the MIS phase, so
+  /// phase 2 never ran (distinguishes a skipped phase from a real
+  /// zero-round consensus).
+  bool phase2_skipped = false;
+
+  /// Non-empty when the spec could not be executed on the multihop path
+  /// (e.g. workload consensus, which belongs to the single-hop World).
+  std::string error;
 };
 
 class WorldFactory {

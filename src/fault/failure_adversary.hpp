@@ -25,6 +25,8 @@ struct CrashEvent {
   Round round = 0;
   ProcessId process = 0;
   CrashPoint point = CrashPoint::kBeforeSend;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
 };
 
 class FailureAdversary {

@@ -8,15 +8,19 @@ namespace ccd {
 MultihopExecutor::MultihopExecutor(
     Topology topology, std::vector<std::unique_ptr<Process>> processes,
     DetectorSpec spec, std::unique_ptr<AdvicePolicy> policy, MhLinkModel link,
-    std::uint64_t seed)
+    std::uint64_t seed, std::unique_ptr<FailureAdversary> fault)
     : topology_(std::move(topology)),
       processes_(std::move(processes)),
       spec_(spec),
       policy_(std::move(policy)),
       link_(link),
-      rng_(seed) {
+      rng_(seed),
+      fault_(std::move(fault)) {
   assert(topology_.size() == processes_.size());
   const std::size_t n = processes_.size();
+  num_alive_ = n;
+  alive_.assign(n, true);
+  crash_mask_.assign(n, false);
   sent_.resize(n);
   recv_.resize(n);
   last_receive_count_.assign(n, 0);
@@ -24,23 +28,56 @@ MultihopExecutor::MultihopExecutor(
   last_cd_.assign(n, CdAdvice::kNull);
 }
 
+void MultihopExecutor::apply_crashes(Round round, CrashPoint point) {
+  crash_mask_.assign(crash_mask_.size(), false);
+  if (point == CrashPoint::kBeforeSend) {
+    fault_->crash_before_send(round, alive_, crash_mask_);
+  } else {
+    fault_->crash_after_send(round, alive_, crash_mask_);
+  }
+  for (std::size_t i = 0; i < crash_mask_.size(); ++i) {
+    if (crash_mask_[i] && alive_[i]) {
+      alive_[i] = false;
+      --num_alive_;
+      ++crashes_applied_;
+    }
+  }
+}
+
 void MultihopExecutor::step() {
   const std::size_t n = processes_.size();
   const Round r = ++round_;
 
+  // Crash point A (Definition 11, kBeforeSend): marked processes are
+  // silent from this round on.
+  if (fault_) apply_crashes(r, CrashPoint::kBeforeSend);
+
   // Sends.  Multihop protocols manage their own contention (no global
   // contention manager can exist without global coordination), so every
-  // process is advised active.
+  // live process is advised active.
   for (std::size_t i = 0; i < n; ++i) {
-    sent_[i] = processes_[i]->halted()
+    sent_[i] = (!alive_[i] || processes_[i]->halted())
                    ? std::nullopt
                    : processes_[i]->on_send(r, CmAdvice::kActive);
     if (sent_[i].has_value()) ++total_broadcasts_;
   }
 
-  // Delivery: per receiver, over its broadcasting neighbors.
+  // Crash point B (kAfterSend, the literal Definition 11 semantics): the
+  // round-r message above stays in sent_ -- it is delivered and counts
+  // toward its neighbors' c_i -- but the sender takes no round-r
+  // transition and is dead from here on.
+  if (fault_) apply_crashes(r, CrashPoint::kAfterSend);
+
+  // Delivery: per live receiver, over its broadcasting neighbors.  Dead
+  // processes receive nothing; long-dead processes never appear in any
+  // c_i because they no longer broadcast.
   for (std::size_t i = 0; i < n; ++i) {
     recv_[i].clear();
+    if (!alive_[i]) {
+      last_receive_count_[i] = 0;
+      last_local_c_[i] = 0;
+      continue;
+    }
     broadcasting_neighbors_.clear();
     for (std::uint32_t j : topology_.neighbors(i)) {
       if (sent_[j].has_value()) broadcasting_neighbors_.push_back(j);
@@ -67,8 +104,13 @@ void MultihopExecutor::step() {
     last_local_c_[i] = local_c;
   }
 
-  // Collision detector advice from the per-receiver local counts.
+  // Collision detector advice from the per-receiver local counts (live
+  // receivers only; a dead process sees no further advice).
   for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) {
+      last_cd_[i] = CdAdvice::kNull;
+      continue;
+    }
     const std::uint32_t c = last_local_c_[i];
     const std::uint32_t t = last_receive_count_[i];
     CdAdvice advice;
@@ -83,9 +125,10 @@ void MultihopExecutor::step() {
     last_cd_[i] = advice;
   }
 
-  // Transitions.
+  // Transitions (live processes only -- an after-send crasher skips its
+  // round-r transition, which is what distinguishes the two crash points).
   for (std::size_t i = 0; i < n; ++i) {
-    if (processes_[i]->halted()) continue;
+    if (!alive_[i] || processes_[i]->halted()) continue;
     processes_[i]->on_receive(r, recv_[i], last_cd_[i], CmAdvice::kActive);
   }
 }

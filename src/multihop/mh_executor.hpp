@@ -14,12 +14,20 @@
 // collision freedom); under contention each receiver independently
 // captures at most one of its broadcasting neighbors with probability
 // p_capture.
+//
+// Crash failures follow the Section 3.3 adversary at the Definition 11
+// points: a kBeforeSend crash in round r silences the process from round r
+// on; a kAfterSend crash lets the round-r message go out (and count toward
+// its neighbors' c_i) but skips the round-r transition.  Dead processes
+// never broadcast again -- so they drop out of every later c_i -- and are
+// excluded from delivery and detector advice.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "cd/oracle_detector.hpp"
+#include "fault/failure_adversary.hpp"
 #include "model/process.hpp"
 #include "multihop/topology.hpp"
 #include "util/rng.hpp"
@@ -33,10 +41,12 @@ struct MhLinkModel {
 
 class MultihopExecutor {
  public:
+  /// `fault` may be null (equivalent to NoFailures).
   MultihopExecutor(Topology topology,
                    std::vector<std::unique_ptr<Process>> processes,
                    DetectorSpec spec, std::unique_ptr<AdvicePolicy> policy,
-                   MhLinkModel link, std::uint64_t seed);
+                   MhLinkModel link, std::uint64_t seed,
+                   std::unique_ptr<FailureAdversary> fault = nullptr);
 
   void step();
   Round current_round() const { return round_; }
@@ -44,6 +54,12 @@ class MultihopExecutor {
   const Topology& topology() const { return topology_; }
   Process& process(std::size_t i) { return *processes_[i]; }
   std::size_t size() const { return processes_.size(); }
+
+  /// False once the failure adversary crashed process i.
+  bool alive(std::size_t i) const { return alive_[i]; }
+  std::size_t num_alive() const { return num_alive_; }
+  /// Crashes the adversary actually applied so far (alive targets only).
+  std::uint64_t crashes_applied() const { return crashes_applied_; }
 
   /// Receive count of process i in the last executed round.
   std::uint32_t last_receive_count(std::size_t i) const {
@@ -60,16 +76,24 @@ class MultihopExecutor {
   std::uint64_t total_broadcasts() const { return total_broadcasts_; }
 
  private:
+  /// Query one crash hook and kill the marked (still-alive) processes.
+  void apply_crashes(Round round, CrashPoint point);
+
   Topology topology_;
   std::vector<std::unique_ptr<Process>> processes_;
   DetectorSpec spec_;
   std::unique_ptr<AdvicePolicy> policy_;
   MhLinkModel link_;
   Rng rng_;
+  std::unique_ptr<FailureAdversary> fault_;
   Round round_ = 0;
   std::uint64_t total_broadcasts_ = 0;
+  std::uint64_t crashes_applied_ = 0;
+  std::size_t num_alive_ = 0;
 
   // Scratch.
+  std::vector<bool> alive_;
+  std::vector<bool> crash_mask_;
   std::vector<std::optional<Message>> sent_;
   std::vector<std::vector<Message>> recv_;
   std::vector<std::uint32_t> last_receive_count_;

@@ -7,6 +7,8 @@
 namespace ccd {
 
 void Stats::add(double x) {
+  if (samples_.empty() || x < min_) min_ = x;
+  if (samples_.empty() || x > max_) max_ = x;
   samples_.push_back(x);
   sum_ += x;
   sum_sq_ += x * x;
@@ -23,14 +25,12 @@ void Stats::ensure_sorted() const {
 
 double Stats::min() const {
   assert(!samples_.empty());
-  ensure_sorted();
-  return sorted_.front();
+  return min_;
 }
 
 double Stats::max() const {
   assert(!samples_.empty());
-  ensure_sorted();
-  return sorted_.back();
+  return max_;
 }
 
 double Stats::mean() const {

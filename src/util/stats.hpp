@@ -1,5 +1,12 @@
-// Small online statistics accumulator used by the bench harness to report
-// min / max / mean / percentiles of round counts over many seeded runs.
+// Small online statistics accumulator used by the bench harness and the
+// exp/ Aggregator to report min / max / mean / percentiles of round counts
+// over many seeded runs.
+//
+// Cost model (the Aggregator asks every cell for p50 AND p99, plus min,
+// mean and max): min / max / mean / stddev are O(1) from online
+// accumulators; percentile sorts a cached copy once and reuses it until
+// the next add() invalidates it, so a burst of percentile queries costs a
+// single sort.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +37,8 @@ class Stats {
   mutable bool sorted_valid_ = false;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+  double min_ = 0.0;  ///< online; valid iff !empty()
+  double max_ = 0.0;  ///< online; valid iff !empty()
 };
 
 }  // namespace ccd

@@ -111,6 +111,115 @@ TEST(MultihopExecutor, InterferenceWithoutReceptionIsDetected) {
   EXPECT_EQ(ex.last_receive_count(1), 0u);
 }
 
+// ---- crash failures -----------------------------------------------------
+
+MultihopExecutor make_crashing_executor(Topology topo, std::vector<bool> talk,
+                                        std::vector<CrashEvent> events,
+                                        MhLinkModel link = {1.0, 1.0}) {
+  std::vector<std::unique_ptr<Process>> procs;
+  for (bool b : talk) procs.push_back(std::make_unique<BeaconProcess>(b));
+  return MultihopExecutor(std::move(topo), std::move(procs),
+                          DetectorSpec::ZeroAC(), make_truthful_policy(),
+                          link, 5,
+                          std::make_unique<ScheduledCrash>(std::move(events)));
+}
+
+TEST(MultihopExecutorCrash, BeforeSendCrashFiresAtTheExactRound) {
+  // Line 0-1-2, everyone talks.  Node 2 crashes before its round-3 send:
+  // through round 2 node 1 sees c = 3 (both neighbors + itself); from
+  // round 3 on, c = 2 and node 2 is dead.
+  auto ex = make_crashing_executor(
+      Topology::line(3), {true, true, true},
+      {{/*round=*/3, /*process=*/2, CrashPoint::kBeforeSend}});
+  for (Round r = 1; r <= 2; ++r) {
+    ex.step();
+    EXPECT_EQ(ex.last_local_broadcasters(1), 3u) << "round " << r;
+    EXPECT_TRUE(ex.alive(2));
+    EXPECT_EQ(ex.crashes_applied(), 0u);
+  }
+  ex.step();  // round 3: the crash lands before the send
+  EXPECT_EQ(ex.last_local_broadcasters(1), 2u);
+  EXPECT_FALSE(ex.alive(2));
+  EXPECT_EQ(ex.num_alive(), 2u);
+  EXPECT_EQ(ex.crashes_applied(), 1u);
+  // Dead processes receive nothing and get no further advice.
+  EXPECT_EQ(ex.last_receive_count(2), 0u);
+  EXPECT_EQ(ex.last_local_broadcasters(2), 0u);
+  EXPECT_EQ(ex.last_cd(2), CdAdvice::kNull);
+}
+
+TEST(MultihopExecutorCrash, AfterSendCrashDeliversTheFinalMessage) {
+  // Definition 11's literal semantics: node 0 crashes after its round-2
+  // send.  Its round-2 message still goes out (node 1 counts it in c),
+  // but node 0 takes no round-2 transition and is silent from round 3.
+  auto ex = make_crashing_executor(
+      Topology::line(3), {true, true, true},
+      {{/*round=*/2, /*process=*/0, CrashPoint::kAfterSend}});
+  ex.step();  // round 1
+  auto& p0 = static_cast<BeaconProcess&>(ex.process(0));
+  const std::size_t count_after_round1 = p0.last_count_;
+  EXPECT_GE(count_after_round1, 1u);  // own broadcast self-delivers
+
+  ex.step();  // round 2: message out, then death
+  EXPECT_FALSE(ex.alive(0));
+  EXPECT_EQ(ex.crashes_applied(), 1u);
+  // The dying broadcast still counted toward node 1's local c...
+  EXPECT_EQ(ex.last_local_broadcasters(1), 3u);
+  // ...but node 0 skipped its round-2 transition: its last observation is
+  // still the round-1 one.
+  EXPECT_EQ(p0.last_count_, count_after_round1);
+
+  ex.step();  // round 3: dead nodes drop out of c entirely
+  EXPECT_EQ(ex.last_local_broadcasters(1), 2u);
+}
+
+TEST(MultihopExecutorCrash, DeadNeighborsLeaveTheBroadcasterCount) {
+  // Both neighbors of node 1 die in round 1; from round 2 node 1 is a
+  // lone broadcaster with c = 1 and null advice (accuracy must hold: no
+  // phantom collisions from the dead).
+  auto ex = make_crashing_executor(
+      Topology::line(3), {true, true, true},
+      {{1, 0, CrashPoint::kBeforeSend}, {1, 2, CrashPoint::kBeforeSend}});
+  ex.step();
+  EXPECT_EQ(ex.num_alive(), 1u);
+  EXPECT_EQ(ex.crashes_applied(), 2u);
+  ex.step();
+  EXPECT_EQ(ex.last_local_broadcasters(1), 1u);
+  EXPECT_EQ(ex.last_receive_count(1), 1u);  // self-delivery only
+  EXPECT_EQ(ex.last_cd(1), CdAdvice::kNull);
+}
+
+TEST(MultihopExecutorCrash, EventsForDeadOrOutOfRangeProcessesAreIgnored) {
+  auto ex = make_crashing_executor(
+      Topology::line(2), {true, true},
+      {{1, 0, CrashPoint::kBeforeSend},
+       {2, 0, CrashPoint::kAfterSend},    // already dead: must not recount
+       {1, 9, CrashPoint::kBeforeSend}});  // out of range: ignored
+  ex.step();
+  ex.step();
+  EXPECT_EQ(ex.crashes_applied(), 1u);
+  EXPECT_EQ(ex.num_alive(), 1u);
+  EXPECT_FALSE(ex.alive(0));
+  EXPECT_TRUE(ex.alive(1));
+}
+
+TEST(MultihopExecutorCrash, NoAdversaryMatchesNoFailuresByteForByte) {
+  // A null fault and an empty ScheduledCrash must produce identical
+  // executions (same RNG draw sequence, same observations).
+  auto a = make_beacon_executor(Topology::line(3), {true, false, true},
+                                {0.9, 0.4});
+  auto b = make_crashing_executor(Topology::line(3), {true, false, true}, {},
+                                  {0.9, 0.4});
+  for (int i = 0; i < 50; ++i) {
+    a.step();
+    b.step();
+    for (std::size_t p = 0; p < 3; ++p) {
+      ASSERT_EQ(a.last_receive_count(p), b.last_receive_count(p));
+      ASSERT_EQ(a.last_cd(p), b.last_cd(p));
+    }
+  }
+}
+
 // ---- flooding -----------------------------------------------------------
 
 struct FloodRun {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +47,41 @@ TEST(Stats, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(s.max(), 20.0);
   s.add(5.0);
   EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(Stats, CachedSortPinsPercentileValuesAcrossInterleavedAdds) {
+  // The sorted buffer is cached between queries and invalidated on add();
+  // the values the Aggregator reports (min/mean/p50/p99/max pairs per
+  // cell) must be exactly what a freshly-sorted computation yields, no
+  // matter how adds and queries interleave.
+  auto fresh = [](const std::vector<double>& xs, double p) {
+    Stats s;
+    for (double x : xs) s.add(x);
+    return s.percentile(p);
+  };
+  const std::vector<double> values = {7, 1, 9, 3, 3, 8, 2, 6, 4, 5,
+                                      0, 12, -3, 8.5, 2.25, 11};
+  Stats s;
+  std::vector<double> so_far;
+  for (double x : values) {
+    s.add(x);
+    so_far.push_back(x);
+    for (double p : {0.0, 37.0, 50.0, 99.0, 100.0}) {
+      // Query twice: the second hit is served from the cache.
+      const double first = s.percentile(p);
+      EXPECT_DOUBLE_EQ(first, s.percentile(p)) << "p=" << p;
+      EXPECT_DOUBLE_EQ(first, fresh(so_far, p)) << "p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(s.min(),
+                     *std::min_element(so_far.begin(), so_far.end()));
+    EXPECT_DOUBLE_EQ(s.max(),
+                     *std::max_element(so_far.begin(), so_far.end()));
+  }
+  // Pin the headline numbers so a future Stats rewrite cannot drift.
+  EXPECT_DOUBLE_EQ(s.percentile(50), 4.5);
+  EXPECT_NEAR(s.percentile(99), 11.85, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 12.0);
 }
 
 TEST(AsciiTable, RendersAlignedCells) {

@@ -13,6 +13,8 @@
 //   ccd_sweep --grid multihop --threads 8 --json mh.json
 //   ccd_sweep --workloads flood --topologies rgg --densities 2,3,4
 //             --n 16,32,64 --seeds 5
+//   ccd_sweep --grid multihop --faults scheduled
+//             --crash-schedules leaf-then-die,source-dies
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +47,9 @@ axis overrides (comma-separated; replace the named grid's axis):
                        flaky-majority,random-legal
   --cms LIST           nocm,wakeup,leader,backoff
   --losses LIST        noloss,ecf,prob,unrestricted
-  --faults LIST        none,random-crash
+  --faults LIST        none,random-crash,scheduled
+  --crash-schedules L  named crash-schedule generators for fault=scheduled
+                       cells: leaf-then-die,source-dies
   --n LIST             process counts, e.g. 4,8,16
   --values LIST        |V| per cell, e.g. 16,256
   --csts LIST          CST targets, e.g. 5,20
@@ -230,6 +234,12 @@ int main(int argc, char** argv) {
     } else if (flag == "--faults") {
       const char* v = next();
       ok = v && parse_list(v, "fault", parse_fault, grid.faults);
+    } else if (flag == "--crash-schedules") {
+      const char* v = next();
+      ok = v != nullptr;
+      // Names are validated by grid.validate() below, which knows the
+      // generator registry.
+      if (ok) grid.crash_schedules = split_csv(v);
     } else if (flag == "--n") {
       const char* v = next();
       ok = v && parse_uint_list(v, "n", grid.ns);
