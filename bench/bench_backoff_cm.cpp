@@ -2,21 +2,27 @@
 // randomized backoff protocol realizes the wake-up service.  Stabilization
 // time is probabilistic; safety of the consensus layer never depends on it
 // (the safety/liveness separation).
+//
+// The end-to-end consensus leg is ported onto the exp/ orchestration
+// engine (an alg x detector grid over the backoff CM with chaotic
+// capture-effect physics, reduced by the Aggregator).  The lock-in scaling
+// probe stays a direct BackoffCm measurement on purpose: it observes
+// cm.stabilized_at() on a bare alive-vector, BELOW the World layer the
+// engine orchestrates -- there is no run to sweep.
 #include <iostream>
+#include <utility>
 
-#include "cd/oracle_detector.hpp"
 #include "cm/backoff_cm.hpp"
-#include "consensus/alg1_maj_oac.hpp"
-#include "consensus/alg2_zero_oac.hpp"
-#include "consensus/harness.hpp"
-#include "fault/failure_adversary.hpp"
-#include "net/capture_effect.hpp"
-#include "net/ecf_adversary.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace ccd {
 namespace {
+
+using namespace ccd::exp;
 
 void stabilization_scaling() {
   std::cout << "--- backoff lock-in time vs n (rounds until exactly one "
@@ -45,41 +51,47 @@ void stabilization_scaling() {
 void consensus_over_backoff() {
   std::cout << "\n--- consensus over the backoff manager + capture-effect "
                "radio (end-to-end realistic stack) ---\n";
-  AsciiTable table({"algorithm", "|V|", "seeds solved", "safety ok",
-                    "decision round p90"});
-  for (int which = 0; which < 2; ++which) {
-    Alg1Algorithm alg1;
-    Alg2Algorithm alg2(256);
-    const ConsensusAlgorithm& alg =
-        which == 0 ? static_cast<const ConsensusAlgorithm&>(alg1)
-                   : static_cast<const ConsensusAlgorithm&>(alg2);
-    const DetectorSpec spec =
-        which == 0 ? DetectorSpec::MajOAC(30) : DetectorSpec::ZeroOAC(30);
-    Stats rounds;
-    int solved = 0;
-    bool safety = true;
-    const int trials = 25;
-    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
-      CaptureEffectLoss::Options radio;
-      radio.r_cf = 30;
-      radio.seed = seed;
-      World world = make_world(
-          alg, random_initial_values(12, 256, seed),
-          std::make_unique<BackoffCm>(BackoffCm::Options{.seed = seed * 3}),
-          std::make_unique<OracleDetector>(
-              spec, std::make_unique<FlakyMajorityPolicy>(0.9, seed * 5)),
-          std::make_unique<CaptureEffectLoss>(radio),
-          std::make_unique<NoFailures>());
-      const RunSummary s = run_consensus(std::move(world), 3000);
-      safety = safety && s.verdict.agreement && s.verdict.strong_validity;
-      if (s.verdict.termination) {
-        ++solved;
-        rounds.add(static_cast<double>(s.verdict.last_decision_round));
-      }
-    }
-    table.add(alg.name(), 256,
-              std::to_string(solved) + "/" + std::to_string(trials), safety,
-              rounds.empty() ? -1.0 : rounds.percentile(90));
+  // One single-cell grid per theorem-matched pairing (Algorithm 1 on
+  // maj-<>AC, Algorithm 2 on 0-<>AC), both over the backoff CM, a
+  // flaky-majority detector policy and the chaotic (capture-effect)
+  // pre-CST environment -- the engine's spelling of the old hand-rolled
+  // wiring.  Each cell is one table row.
+  AsciiTable table({"algorithm", "detector", "|V|", "seeds solved",
+                    "safety ok", "decision round p90"});
+  const std::pair<AlgKind, DetectorKind> pairings[] = {
+      {AlgKind::kAlg1, DetectorKind::kMajOAC},
+      {AlgKind::kAlg2, DetectorKind::kZeroOAC},
+  };
+  for (const auto& [alg, detector] : pairings) {
+    SweepGrid grid;
+    grid.base.alg = alg;
+    grid.base.detector = detector;
+    grid.base.cm = CmKind::kBackoff;
+    grid.base.policy = PolicyKind::kFlakyMajority;
+    grid.base.spurious_p = 0.9;
+    grid.base.loss = LossKind::kEcf;
+    grid.base.chaos = ChaosKind::kChaotic;
+    grid.base.n = 12;
+    grid.base.num_values = 256;
+    grid.base.cst_target = 30;
+    grid.base.max_rounds = 3000;
+    grid.seeds_per_cell = 25;
+    grid.grid_seed = 11;
+
+    SweepOptions options;
+    options.threads = 0;  // all cores
+    const auto cells = aggregate(grid, run_sweep(grid, options));
+    const CellAggregate& cell = cells.front();
+    const bool safety =
+        cell.agreement_failures == 0 && cell.validity_failures == 0;
+    table.add(to_string(cell.spec.alg), to_string(cell.spec.detector),
+              cell.spec.num_values,
+              std::to_string(cell.runs - cell.termination_failures) + "/" +
+                  std::to_string(cell.runs),
+              safety,
+              cell.decision_round.empty()
+                  ? -1.0
+                  : cell.decision_round.percentile(90));
   }
   table.print(std::cout);
   std::cout << "\nRESULT: liveness becomes probabilistic with a real "

@@ -1,89 +1,122 @@
 // E15 -- ablation: how much does detector BEHAVIOUR (within a fixed class)
-// matter?  Upper bounds must hold for every legal policy; this bench
-// quantifies the spread between the friendliest and nastiest detectors of
-// each class, and between classes at a fixed policy.
+// matter?  Upper bounds must hold for every legal policy; this bench runs
+// the nastiest members of each class alongside the friendliest and checks
+// Theorem 1/2's after-CST bounds on every one of them.
 //
-// Shape to confirm: Theorem 2's bound caps every column (behaviour inside
-// the envelope moves the constant, never the asymptotics), and moving DOWN
-// the completeness lattice at a fixed policy never helps.
+// Shape to confirm: the theorem bound caps every cell (behaviour inside
+// the envelope moves pre-CST progress, never the post-CST asymptotics).
+// With the engine's wiring every stabilization knob (r_wake, r_cf, r_acc)
+// lands at CST, so the after-CST column IS the theorem quantity.
+//
+// Ported onto the exp/ orchestration engine: each algorithm's policy x
+// detector-class product is a SweepGrid (the "policies" named grid's
+// shape, chaotic pre-CST environment -- the same adversarial wiring the
+// other ported benches use), executed across all cores and reduced by the
+// Aggregator; the tables are pivoted straight out of the per-cell
+// aggregates.
+#include <cstdio>
 #include <iostream>
+#include <map>
+#include <string>
+#include <utility>
 
-#include "cd/oracle_detector.hpp"
-#include "cm/wakeup_service.hpp"
 #include "consensus/alg1_maj_oac.hpp"
 #include "consensus/alg2_zero_oac.hpp"
-#include "consensus/harness.hpp"
-#include "fault/failure_adversary.hpp"
-#include "net/ecf_adversary.hpp"
-#include "util/stats.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
 #include "util/table.hpp"
 
 namespace ccd {
 namespace {
 
-std::unique_ptr<AdvicePolicy> make_policy(int kind, Round r_acc,
-                                          std::uint64_t seed) {
-  switch (kind) {
-    case 0:
-      return make_truthful_policy();
-    case 1:
-      return make_prefer_null_policy();
-    case 2:
-      return make_prefer_collision_policy();
-    case 3:
-      return std::make_unique<SpuriousPolicy>(0.4, r_acc, seed);
-    default:
-      return std::make_unique<FlakyMajorityPolicy>(0.9, seed);
-  }
-}
+using namespace ccd::exp;
 
-const char* policy_name(int kind) {
-  switch (kind) {
-    case 0:
-      return "truthful";
-    case 1:
-      return "prefer-null";
-    case 2:
-      return "prefer-collision";
-    case 3:
-      return "spurious(0.4)";
-    default:
-      return "flaky-majority(0.9)";
-  }
-}
+constexpr Round kCst = 10;
+constexpr std::uint64_t kNumValues = 256;
 
-double measure(const ConsensusAlgorithm& alg, DetectorSpec spec,
-               int policy_kind) {
-  Stats after;
-  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-    const Round cst = 10;
-    spec.r_acc = cst;  // eventual accuracy arrives at CST = 10
-    // Clean channel and stabilized contention from round 1: the detector's
-    // accuracy point (r_acc = CST) is the ONLY pre-CST obstruction, so the
-    // spread between policies is purely detector behaviour.
-    WakeupService::Options ws;
-    ws.r_wake = 1;
-    ws.seed = seed;
-    EcfAdversary::Options ecf;
-    ecf.r_cf = 1;
-    ecf.contention = EcfAdversary::ContentionMode::kDeliverAll;
-    ecf.seed = seed * 3;
-    World world = make_world(
-        alg, random_initial_values(8, 256, seed * 5),
-        std::make_unique<WakeupService>(ws),
-        std::make_unique<OracleDetector>(
-            spec, make_policy(policy_kind, cst, seed * 7)),
-        std::make_unique<EcfAdversary>(ecf),
-        std::make_unique<NoFailures>());
-    const RunSummary s = run_consensus(std::move(world), 2000);
-    if (s.verdict.solved()) {
-      // Total decision round: pre-CST progress is where policies differ
-      // (a friendly detector lets early cycles already succeed; a nasty
-      // one wastes them), while rounds-after-CST is bound-capped for all.
-      after.add(static_cast<double>(s.verdict.last_decision_round));
+struct CellResult {
+  std::size_t solved = 0;
+  std::size_t runs = 0;
+  double after_cst_max = -1.0;  ///< -1 when nothing solved
+};
+
+/// Per (policy, detector) outcomes for one algorithm.  Two sub-grids
+/// because the engine has ONE spurious_p knob: the spurious policy
+/// historically ran at 0.4 and flaky-majority at 0.9.
+std::map<std::pair<PolicyKind, DetectorKind>, CellResult> measure(
+    AlgKind alg, const std::vector<DetectorKind>& detectors) {
+  std::map<std::pair<PolicyKind, DetectorKind>, CellResult> results;
+  struct SubGrid {
+    std::vector<PolicyKind> policies;
+    double spurious_p;
+  };
+  const SubGrid sub_grids[] = {
+      {{PolicyKind::kTruthful, PolicyKind::kPreferNull,
+        PolicyKind::kPreferCollision, PolicyKind::kSpurious},
+       0.4},
+      {{PolicyKind::kFlakyMajority}, 0.9},
+  };
+  for (const SubGrid& sub : sub_grids) {
+    SweepGrid grid;
+    grid.base.alg = alg;
+    grid.base.cm = CmKind::kWakeup;
+    grid.base.loss = LossKind::kEcf;
+    grid.base.chaos = ChaosKind::kChaotic;
+    grid.base.n = 8;
+    grid.base.num_values = kNumValues;
+    grid.base.cst_target = kCst;
+    grid.base.spurious_p = sub.spurious_p;
+    grid.detectors = detectors;
+    grid.policies = sub.policies;
+    grid.seeds_per_cell = 12;
+    grid.grid_seed = 2025;
+
+    SweepOptions options;
+    options.threads = 0;  // all cores
+    for (const CellAggregate& cell :
+         aggregate(grid, run_sweep(grid, options))) {
+      CellResult r;
+      r.solved = cell.solved;
+      r.runs = cell.runs;
+      if (!cell.rounds_after_cst.empty()) {
+        r.after_cst_max = cell.rounds_after_cst.max();
+      }
+      results[{cell.spec.policy, cell.spec.detector}] = r;
     }
   }
-  return after.empty() ? -1 : after.max();
+  return results;
+}
+
+/// One table per algorithm: worst after-CST rounds per policy x class,
+/// every cell checked against the theorem bound.  Returns "all bounded".
+bool print_table(AlgKind alg, const std::vector<DetectorKind>& detectors,
+                 const std::vector<std::string>& headers, Round bound) {
+  const auto results = measure(alg, detectors);
+  AsciiTable table(headers);
+  bool all_ok = true;
+  for (PolicyKind policy :
+       {PolicyKind::kTruthful, PolicyKind::kPreferNull,
+        PolicyKind::kPreferCollision, PolicyKind::kSpurious,
+        PolicyKind::kFlakyMajority}) {
+    std::string label = to_string(policy);
+    if (policy == PolicyKind::kSpurious) label += "(0.4)";
+    if (policy == PolicyKind::kFlakyMajority) label += "(0.9)";
+    std::vector<std::string> row = {label};
+    for (DetectorKind d : detectors) {
+      const CellResult& r = results.at({policy, d});
+      const bool ok = r.solved == r.runs && r.after_cst_max >= 0 &&
+                      r.after_cst_max <= static_cast<double>(bound);
+      all_ok = all_ok && ok;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.0f %s", r.after_cst_max,
+                    ok ? "ok" : "VIOLATED");
+      row.push_back(buf);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return all_ok;
 }
 
 }  // namespace
@@ -91,38 +124,36 @@ double measure(const ConsensusAlgorithm& alg, DetectorSpec spec,
 
 int main() {
   using namespace ccd;
+  using namespace ccd::exp;
   std::cout << "=== E15: detector-behaviour ablation (|V| = 256, n = 8, "
-               "worst TOTAL decision round over 12 seeds, CST = 10) ===\n\n";
+               "chaotic pre-CST phase, worst after-CST rounds over 12 "
+               "seeds, CST = 10; 'ok' = all seeds solved within the bound) "
+               "===\n\n";
 
+  const Round alg2_bound = Alg2Algorithm::round_bound_after_cst(kNumValues);
   std::cout << "--- Algorithm 2 across policies x completeness levels "
-               "(cap = CST + "
-            << Alg2Algorithm::round_bound_after_cst(256) << ") ---\n";
-  Alg2Algorithm alg2(256);
-  AsciiTable t1({"policy", "<>AC (complete)", "maj-<>AC", "half-<>AC",
-                 "0-<>AC"});
-  for (int policy = 0; policy < 5; ++policy) {
-    t1.add(policy_name(policy),
-           measure(alg2, DetectorSpec::OAC(1), policy),
-           measure(alg2, DetectorSpec::MajOAC(1), policy),
-           measure(alg2, DetectorSpec::HalfOAC(1), policy),
-           measure(alg2, DetectorSpec::ZeroOAC(1), policy));
-  }
-  t1.print(std::cout);
+               "(bound = "
+            << alg2_bound << ") ---\n";
+  const bool ok2 =
+      print_table(AlgKind::kAlg2,
+                  {DetectorKind::kOAC, DetectorKind::kMajOAC,
+                   DetectorKind::kHalfOAC, DetectorKind::kZeroOAC},
+                  {"policy", "<>AC (complete)", "maj-<>AC", "half-<>AC",
+                   "0-<>AC"},
+                  alg2_bound);
 
   std::cout << "\n--- Algorithm 1 (needs maj-<>AC; bound = 2) ---\n";
-  Alg1Algorithm alg1;
-  AsciiTable t2({"policy", "<>AC (complete)", "maj-<>AC"});
-  for (int policy = 0; policy < 5; ++policy) {
-    t2.add(policy_name(policy),
-           measure(alg1, DetectorSpec::OAC(1), policy),
-           measure(alg1, DetectorSpec::MajOAC(1), policy));
-  }
-  t2.print(std::cout);
+  const bool ok1 = print_table(
+      AlgKind::kAlg1, {DetectorKind::kOAC, DetectorKind::kMajOAC},
+      {"policy", "<>AC (complete)", "maj-<>AC"}, 2);
 
-  std::cout << "\nRESULT: every cell respects its theorem's bound -- the "
-               "policy (behaviour inside the class envelope) shifts "
-               "constants only.  Perfect detection buys nothing over "
-               "'pretty good' detection, the paper's closing "
-               "observation.\n";
+  std::cout << (ok1 && ok2
+                    ? "\nRESULT: every policy x class cell solves every "
+                      "seed within its theorem's after-CST bound -- "
+                      "behaviour inside the envelope shifts pre-CST "
+                      "progress only.  Perfect detection buys nothing over "
+                      "'pretty good' detection, the paper's closing "
+                      "observation.\n"
+                    : "\nRESULT: BOUND VIOLATED\n");
   return 0;
 }

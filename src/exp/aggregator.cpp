@@ -54,72 +54,106 @@ void append_stats_csv(std::string& out, const Stats& s) {
 
 }  // namespace
 
-std::vector<CellAggregate> aggregate(const SweepGrid& grid,
-                                     const std::vector<RunRecord>& records) {
-  std::vector<CellAggregate> cells(grid.num_cells());
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    cells[c].cell_index = c;
-    cells[c].spec = grid.spec_for_cell(c);
-  }
-  for (const RunRecord& r : records) {
-    CellAggregate& cell = cells.at(r.cell_index);
-    ++cell.runs;
+CellAggregate empty_cell_aggregate(const SweepGrid& grid,
+                                   std::size_t cell_index) {
+  CellAggregate cell;
+  cell.cell_index = cell_index;
+  cell.spec = grid.spec_for_cell(cell_index);
+  return cell;
+}
 
-    // Consensus properties: meaningful for consensus workloads and for the
-    // phase-2 consensus of mis-then-consensus (where a head-less MIS phase
-    // honestly counts as a termination failure).
-    const bool has_consensus_phase =
-        r.spec.workload == WorkloadKind::kConsensus ||
-        r.spec.workload == WorkloadKind::kMisThenConsensus;
-    if (has_consensus_phase) {
-      const ConsensusVerdict& v = r.summary.verdict;
-      if (v.solved()) ++cell.solved;
-      if (!v.agreement) ++cell.agreement_failures;
-      if (!v.strong_validity || !v.uniform_validity) ++cell.validity_failures;
-      if (!v.termination) ++cell.termination_failures;
-      cell.crashed_processes += r.summary.result.num_crashed;
-      cell.rounds_executed.add(
-          static_cast<double>(r.summary.result.rounds_executed));
-      if (v.solved()) {
-        cell.decision_round.add(static_cast<double>(v.last_decision_round));
-        if (r.summary.cst != kNeverRound) {
-          cell.rounds_after_cst.add(
-              static_cast<double>(r.summary.rounds_after_cst));
-        }
+void accumulate_run(CellAggregate& cell, const RunRecord& r) {
+  ++cell.runs;
+
+  // Consensus properties: meaningful for consensus workloads and for the
+  // phase-2 consensus of mis-then-consensus (where a head-less MIS phase
+  // honestly counts as a termination failure).
+  const bool has_consensus_phase =
+      r.spec.workload == WorkloadKind::kConsensus ||
+      r.spec.workload == WorkloadKind::kMisThenConsensus;
+  if (has_consensus_phase) {
+    const ConsensusVerdict& v = r.summary.verdict;
+    if (v.solved()) ++cell.solved;
+    if (!v.agreement) ++cell.agreement_failures;
+    if (!v.strong_validity || !v.uniform_validity) ++cell.validity_failures;
+    if (!v.termination) ++cell.termination_failures;
+    cell.crashed_processes += r.summary.result.num_crashed;
+    cell.rounds_executed.add(
+        static_cast<double>(r.summary.result.rounds_executed));
+    if (v.solved()) {
+      cell.decision_round.add(static_cast<double>(v.last_decision_round));
+      if (r.summary.cst != kNeverRound) {
+        cell.rounds_after_cst.add(
+            static_cast<double>(r.summary.rounds_after_cst));
       }
     }
+  }
 
-    if (r.mh.ran) {
-      ++cell.mh_runs;
-      if (!r.mh.connected) ++cell.disconnected;
-      if (r.mh.connected) cell.diameter.add(r.mh.diameter);
-      cell.messages_per_node.add(r.mh.messages_per_node);
-      cell.mh_crashes_applied += r.mh.crashes_applied;
-      if (r.mh.phase2_skipped) ++cell.phase2_skipped;
-      cell.surviving_fraction.add(
-          r.spec.n > 0 ? static_cast<double>(r.mh.survivors) /
+  if (r.mh.ran) {
+    ++cell.mh_runs;
+    if (!r.mh.connected) ++cell.disconnected;
+    if (r.mh.connected) cell.diameter.add(r.mh.diameter);
+    cell.messages_per_node.add(r.mh.messages_per_node);
+    cell.mh_crashes_applied += r.mh.crashes_applied;
+    if (r.mh.phase2_skipped) ++cell.phase2_skipped;
+    cell.surviving_fraction.add(
+        r.spec.n > 0 ? static_cast<double>(r.mh.survivors) /
+                           static_cast<double>(r.spec.n)
+                     : 0.0);
+    if (r.spec.workload == WorkloadKind::kFlood) {
+      if (r.mh.full_coverage_round != kNeverRound) {
+        ++cell.full_coverage;
+        cell.coverage_rounds.add(
+            static_cast<double>(r.mh.full_coverage_round));
+      }
+      cell.coverage_fraction.add(
+          r.spec.n > 0 ? static_cast<double>(r.mh.covered) /
                              static_cast<double>(r.spec.n)
                        : 0.0);
-      if (r.spec.workload == WorkloadKind::kFlood) {
-        if (r.mh.full_coverage_round != kNeverRound) {
-          ++cell.full_coverage;
-          cell.coverage_rounds.add(
-              static_cast<double>(r.mh.full_coverage_round));
-        }
-        cell.coverage_fraction.add(
-            r.spec.n > 0 ? static_cast<double>(r.mh.covered) /
-                               static_cast<double>(r.spec.n)
-                         : 0.0);
-      } else {
-        if (!r.mh.mis_independent || !r.mh.mis_maximal) ++cell.mis_violations;
-        cell.mis_size.add(static_cast<double>(r.mh.mis_size));
-        if (r.mh.mis_settle_round != kNeverRound) {
-          cell.mis_settle_round.add(
-              static_cast<double>(r.mh.mis_settle_round));
-        }
+    } else {
+      if (!r.mh.mis_independent || !r.mh.mis_maximal) ++cell.mis_violations;
+      cell.mis_size.add(static_cast<double>(r.mh.mis_size));
+      if (r.mh.mis_settle_round != kNeverRound) {
+        cell.mis_settle_round.add(
+            static_cast<double>(r.mh.mis_settle_round));
       }
     }
   }
+}
+
+void merge_cell_aggregate(CellAggregate& dst, const CellAggregate& src) {
+  dst.runs += src.runs;
+  dst.solved += src.solved;
+  dst.agreement_failures += src.agreement_failures;
+  dst.validity_failures += src.validity_failures;
+  dst.termination_failures += src.termination_failures;
+  dst.crashed_processes += src.crashed_processes;
+  dst.mh_runs += src.mh_runs;
+  dst.disconnected += src.disconnected;
+  dst.full_coverage += src.full_coverage;
+  dst.mis_violations += src.mis_violations;
+  dst.mh_crashes_applied += src.mh_crashes_applied;
+  dst.phase2_skipped += src.phase2_skipped;
+  dst.decision_round.merge_from(src.decision_round);
+  dst.rounds_after_cst.merge_from(src.rounds_after_cst);
+  dst.rounds_executed.merge_from(src.rounds_executed);
+  dst.surviving_fraction.merge_from(src.surviving_fraction);
+  dst.coverage_rounds.merge_from(src.coverage_rounds);
+  dst.coverage_fraction.merge_from(src.coverage_fraction);
+  dst.mis_size.merge_from(src.mis_size);
+  dst.mis_settle_round.merge_from(src.mis_settle_round);
+  dst.messages_per_node.merge_from(src.messages_per_node);
+  dst.diameter.merge_from(src.diameter);
+}
+
+std::vector<CellAggregate> aggregate(const SweepGrid& grid,
+                                     const std::vector<RunRecord>& records) {
+  std::vector<CellAggregate> cells;
+  cells.reserve(grid.num_cells());
+  for (std::size_t c = 0; c < grid.num_cells(); ++c) {
+    cells.push_back(empty_cell_aggregate(grid, c));
+  }
+  for (const RunRecord& r : records) accumulate_run(cells.at(r.cell_index), r);
   return cells;
 }
 

@@ -56,6 +56,23 @@ struct CellAggregate {
 std::vector<CellAggregate> aggregate(const SweepGrid& grid,
                                      const std::vector<RunRecord>& records);
 
+/// A zero-run aggregate carrying cell `cell_index`'s identity -- the unit
+/// both aggregate() and the shard runner fold runs into.
+CellAggregate empty_cell_aggregate(const SweepGrid& grid,
+                                   std::size_t cell_index);
+
+/// Fold one run record into its cell.  The deterministic-report guarantee
+/// requires folding a cell's records in run-index order (the fold order is
+/// observable through the floating-point sums).
+void accumulate_run(CellAggregate& cell, const RunRecord& record);
+
+/// Exact merge for shard recombination: counters add, statistics merge via
+/// Stats::merge_from.  `dst` and `src` must describe the same cell; when
+/// one side is empty (the only case a cell-partitioned shard plan ever
+/// produces) the result is bit-identical to the populated side, and in
+/// general it equals folding src's runs after dst's.
+void merge_cell_aggregate(CellAggregate& dst, const CellAggregate& src);
+
 /// Deterministic JSON report: grid metadata + one object per cell.
 std::string aggregates_to_json(const SweepGrid& grid,
                                const std::vector<CellAggregate>& cells);

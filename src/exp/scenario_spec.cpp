@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <limits>
-#include <map>
 
+#include "exp/flat_json.hpp"
+#include "exp/world_factory.hpp"
+#include "multihop/topology.hpp"
 #include "util/bitcodec.hpp"
 
 namespace ccd::exp {
 
 namespace {
+
+using jsonu::FlatJson;
+using jsonu::format_double;
+using jsonu::skip_quoted;
 
 template <typename E>
 std::optional<E> parse_enum(const std::string& s,
@@ -22,128 +26,6 @@ std::optional<E> parse_enum(const std::string& s,
   }
   return std::nullopt;
 }
-
-// Shortest %g form that strtod parses back to the same double: try
-// increasing precision until the round trip is exact.  Keeps the JSON both
-// readable ("0.5", not "0.50000000000000000") and lossless.
-std::string format_double(double d) {
-  char buf[64];
-  for (int prec = 1; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
-    if (std::strtod(buf, nullptr) == d) break;
-  }
-  return buf;
-}
-
-/// Advance `i` past a double-quoted JSON string (`i` must point at the
-/// opening quote, escapes are honoured); false on unterminated input.
-bool skip_quoted(const std::string& text, std::size_t& i) {
-  ++i;
-  while (i < text.size() && text[i] != '"') {
-    if (text[i] == '\\' && i + 1 < text.size()) ++i;
-    ++i;
-  }
-  if (i >= text.size()) return false;
-  ++i;  // closing quote
-  return true;
-}
-
-// --- minimal flat-JSON scanner ---------------------------------------------
-// Accepts one object of string/number members plus bracket-balanced array
-// members captured as raw text (the crash_schedule member, re-parsed by
-// parse_crash_schedule below).  That is all a ScenarioSpec ever serializes
-// to, and keeping the parser tiny beats pulling in a JSON dependency the
-// container may not have.
-struct FlatJson {
-  std::map<std::string, std::string> members;  // raw value text (unquoted)
-
-  static std::optional<FlatJson> parse(const std::string& text) {
-    FlatJson out;
-    std::size_t i = 0;
-    auto skip_ws = [&] {
-      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
-    };
-    auto parse_string = [&]() -> std::optional<std::string> {
-      if (i >= text.size() || text[i] != '"') return std::nullopt;
-      ++i;
-      std::string s;
-      while (i < text.size() && text[i] != '"') {
-        if (text[i] == '\\' && i + 1 < text.size()) ++i;  // unescape
-        s += text[i++];
-      }
-      if (i >= text.size()) return std::nullopt;
-      ++i;  // closing quote
-      return s;
-    };
-    skip_ws();
-    if (i >= text.size() || text[i] != '{') return std::nullopt;
-    ++i;
-    // Reject trailing content after the object: a concatenated or
-    // corrupted record must not silently half-parse.
-    auto finish = [&]() -> std::optional<FlatJson> {
-      ++i;  // consume '}'
-      skip_ws();
-      if (i != text.size()) return std::nullopt;
-      return out;
-    };
-    skip_ws();
-    if (i < text.size() && text[i] == '}') return finish();  // empty object
-    while (true) {
-      skip_ws();
-      auto key = parse_string();
-      if (!key) return std::nullopt;
-      skip_ws();
-      if (i >= text.size() || text[i] != ':') return std::nullopt;
-      ++i;
-      skip_ws();
-      if (i < text.size() && text[i] == '"') {
-        auto value = parse_string();
-        if (!value) return std::nullopt;
-        out.members[*key] = *value;
-      } else if (i < text.size() && text[i] == '[') {
-        // Array member: capture the bracket-balanced raw text (strings
-        // inside may contain brackets; skip them whole).
-        const std::size_t start = i;
-        int depth = 0;
-        while (i < text.size()) {
-          if (text[i] == '"') {
-            if (!skip_quoted(text, i)) return std::nullopt;
-            continue;
-          }
-          if (text[i] == '[') {
-            ++depth;
-          } else if (text[i] == ']') {
-            if (--depth == 0) break;
-          }
-          ++i;
-        }
-        if (i >= text.size()) return std::nullopt;  // unbalanced
-        ++i;  // consume ']'
-        out.members[*key] = text.substr(start, i - start);
-      } else {
-        std::size_t start = i;
-        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
-               !std::isspace(static_cast<unsigned char>(text[i]))) {
-          ++i;
-        }
-        if (i == start) return std::nullopt;
-        out.members[*key] = text.substr(start, i - start);
-      }
-      skip_ws();
-      if (i < text.size() && text[i] == ',') {
-        ++i;
-        continue;
-      }
-      if (i < text.size() && text[i] == '}') return finish();
-      return std::nullopt;
-    }
-  }
-
-  const std::string* find(const char* key) const {
-    auto it = members.find(key);
-    return it == members.end() ? nullptr : &it->second;
-  }
-};
 
 // Parse the raw text of a "crash_schedule" array member:
 //   [{"round":3,"process":0,"point":"before-send"}, ...]
@@ -563,8 +445,11 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json,
     if (std::find(known.begin(), known.end(), *raw) != known.end()) {
       spec.crash_schedule_name = *raw;
     } else {
-      report("crash_schedule_name", *raw,
-             "a known generator: leaf-then-die, source-dies");
+      std::string expected = "a known generator:";
+      for (const std::string& name : known) {
+        expected += " " + name + (name == known.back() ? "" : ",");
+      }
+      report("crash_schedule_name", *raw, expected.c_str());
     }
   }
   read_enum("init", parse_init, spec.init, "random, split or same");
@@ -594,7 +479,7 @@ std::string ScenarioSpec::cell_key() const {
 }
 
 std::vector<std::string> crash_schedule_names() {
-  return {"leaf-then-die", "source-dies"};
+  return {"leaf-then-die", "source-dies", "articulation-point"};
 }
 
 std::optional<std::vector<CrashEvent>> generate_crash_schedule(
@@ -627,6 +512,40 @@ std::optional<std::vector<CrashEvent>> generate_crash_schedule(
     CrashEvent e;
     e.round = 2;
     e.process = 0;
+    e.point = CrashPoint::kAfterSend;
+    events.push_back(e);
+    return events;
+  }
+  if (name == "articulation-point") {
+    // The partition worst case, declaratively: materialize the spec's
+    // topology and kill its most damaging cut vertex just as the workload
+    // starts spreading (round 2, after-send -- the same opener shape as
+    // source-dies).  "Most damaging" = the articulation point whose removal
+    // minimizes the largest surviving component (the most balanced split),
+    // lowest id on ties.  Topologies without a cut vertex (ring, clique,
+    // dense rgg) expand to the empty, failure-free schedule.
+    //
+    // The topology is built once more here on top of run_multihop's own
+    // construction -- a deliberate trade: generators stay (name, spec) ->
+    // events with no executor coupling, and make_topology is deterministic
+    // in the spec, so the two materializations agree by construction.
+    std::vector<CrashEvent> events;
+    if (spec.n < 3) return events;
+    const Topology topo = WorldFactory::make_topology(spec);
+    const std::vector<std::uint32_t> cuts = topo.articulation_points();
+    if (cuts.empty()) return events;
+    std::uint32_t best = cuts.front();
+    std::size_t best_worst = topo.size();
+    for (std::uint32_t v : cuts) {
+      const std::size_t worst = topo.largest_component_without(v);
+      if (worst < best_worst) {
+        best_worst = worst;
+        best = v;
+      }
+    }
+    CrashEvent e;
+    e.round = 2;
+    e.process = best;
     e.point = CrashPoint::kAfterSend;
     events.push_back(e);
     return events;

@@ -247,6 +247,11 @@ struct ScenarioSpec {
 ///       to 1 crash in turn, process 0 survives.
 ///   "source-dies"   -- node 0 (the flood source) speaks in rounds 1-2 and
 ///       dies after its round-2 send: the adversarial broadcast opener.
+///   "articulation-point" -- the partition worst case: materialize the
+///       spec's topology and kill its most damaging cut vertex (the one
+///       whose removal minimizes the largest surviving component; lowest id
+///       on ties) after its round-2 send.  Expands to the empty schedule on
+///       topologies without a cut vertex (ring, clique, dense rgg).
 std::vector<std::string> crash_schedule_names();
 
 /// Expand a named generator against a spec's n / num_values; nullopt for

@@ -1,0 +1,181 @@
+#include "exp/shard/shard_plan.hpp"
+
+#include <cstdlib>
+
+#include "exp/flat_json.hpp"
+
+namespace ccd::exp {
+
+const char* to_string(ShardMode m) {
+  switch (m) {
+    case ShardMode::kContiguous: return "contiguous";
+    case ShardMode::kStrided: return "strided";
+  }
+  return "?";
+}
+
+std::optional<ShardMode> parse_shard_mode(const std::string& s) {
+  if (s == "contiguous") return ShardMode::kContiguous;
+  if (s == "strided") return ShardMode::kStrided;
+  return std::nullopt;
+}
+
+std::string fingerprint_to_hex(std::uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[fp & 0xf];
+    fp >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> fingerprint_from_hex(const std::string& s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t fp = 0;
+  for (char c : s) {
+    fp <<= 4;
+    if (c >= '0' && c <= '9') {
+      fp |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      fp |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return fp;
+}
+
+std::vector<std::size_t> ShardSpec::cell_indices() const {
+  std::vector<std::size_t> cells;
+  const std::size_t n = grid.num_cells();
+  if (shard_count == 0) return cells;
+  if (mode == ShardMode::kContiguous) {
+    const std::size_t begin = shard_index * n / shard_count;
+    const std::size_t end = (shard_index + 1) * n / shard_count;
+    cells.reserve(end - begin);
+    for (std::size_t c = begin; c < end; ++c) cells.push_back(c);
+  } else {
+    for (std::size_t c = shard_index; c < n; c += shard_count) {
+      cells.push_back(c);
+    }
+  }
+  return cells;
+}
+
+bool ShardSpec::owns_cell(std::size_t cell) const {
+  const std::size_t n = grid.num_cells();
+  if (cell >= n || shard_count == 0) return false;
+  if (mode == ShardMode::kStrided) return cell % shard_count == shard_index;
+  return cell >= shard_index * n / shard_count &&
+         cell < (shard_index + 1) * n / shard_count;
+}
+
+std::string ShardSpec::to_json() const {
+  std::string out = "{\"format\":\"ccd-shard-spec-v1\"";
+  out += ",\"shard_index\":" + std::to_string(shard_index);
+  out += ",\"shard_count\":" + std::to_string(shard_count);
+  out += ",\"mode\":\"";
+  out += to_string(mode);
+  out += "\",\"grid_fingerprint\":\"" + fingerprint_to_hex(grid_fingerprint);
+  out += "\",\"grid\":" + grid.to_json();
+  out += "}";
+  return out;
+}
+
+std::optional<ShardSpec> ShardSpec::from_json(const std::string& json,
+                                              std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<ShardSpec> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  auto flat = jsonu::FlatJson::parse(json);
+  if (!flat) return fail("shard spec is not a flat JSON object");
+
+  const std::string* format = flat->find("format");
+  if (!format || *format != "ccd-shard-spec-v1") {
+    return fail("missing or unknown \"format\" (expected ccd-shard-spec-v1)");
+  }
+
+  ShardSpec spec;
+  auto read_size = [&](const char* key, std::size_t& field) {
+    const std::string* raw = flat->find(key);
+    if (!raw) return std::string("missing key '") + key + "'";
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw->c_str(), &end, 10);
+    if (!end || *end != '\0' || raw->empty() || (*raw)[0] == '-') {
+      return "bad value '" + *raw + "' for key '" + key + "'";
+    }
+    field = static_cast<std::size_t>(v);
+    return std::string();
+  };
+  if (auto e = read_size("shard_index", spec.shard_index); !e.empty()) {
+    return fail(e);
+  }
+  if (auto e = read_size("shard_count", spec.shard_count); !e.empty()) {
+    return fail(e);
+  }
+  if (spec.shard_count == 0) return fail("shard_count must be >= 1");
+  if (spec.shard_index >= spec.shard_count) {
+    return fail("shard_index " + std::to_string(spec.shard_index) +
+                " out of range for shard_count " +
+                std::to_string(spec.shard_count));
+  }
+  if (const std::string* raw = flat->find("mode")) {
+    auto mode = parse_shard_mode(*raw);
+    if (!mode) {
+      return fail("bad value '" + *raw +
+                  "' for key 'mode' (expected contiguous or strided)");
+    }
+    spec.mode = *mode;
+  } else {
+    return fail("missing key 'mode'");
+  }
+
+  const std::string* fp_raw = flat->find("grid_fingerprint");
+  if (!fp_raw) return fail("missing key 'grid_fingerprint'");
+  auto fp = fingerprint_from_hex(*fp_raw);
+  if (!fp) {
+    return fail("bad value '" + *fp_raw +
+                "' for key 'grid_fingerprint' (expected 16 hex digits)");
+  }
+  spec.grid_fingerprint = *fp;
+
+  const std::string* grid_raw = flat->find("grid");
+  if (!grid_raw) return fail("missing key 'grid'");
+  std::string grid_error;
+  auto grid = SweepGrid::from_json(*grid_raw, &grid_error);
+  if (!grid) return fail("grid: " + grid_error);
+  spec.grid = *grid;
+
+  // Stale-shard rejection: the embedded fingerprint must match the grid it
+  // travels with.  A spec whose grid was edited after planning (or planned
+  // by an incompatible build) is refused here, before any cell runs.
+  if (spec.grid.fingerprint() != spec.grid_fingerprint) {
+    return fail("grid fingerprint mismatch: file says " + *fp_raw +
+                " but the embedded grid hashes to " +
+                fingerprint_to_hex(spec.grid.fingerprint()) +
+                " (stale or hand-edited shard spec?)");
+  }
+  return spec;
+}
+
+std::vector<ShardSpec> ShardPlanner::plan(const SweepGrid& grid,
+                                          std::size_t count, ShardMode mode) {
+  if (count == 0) count = 1;
+  std::vector<ShardSpec> shards;
+  shards.reserve(count);
+  const std::uint64_t fp = grid.fingerprint();
+  for (std::size_t i = 0; i < count; ++i) {
+    ShardSpec spec;
+    spec.shard_index = i;
+    spec.shard_count = count;
+    spec.mode = mode;
+    spec.grid_fingerprint = fp;
+    spec.grid = grid;
+    shards.push_back(std::move(spec));
+  }
+  return shards;
+}
+
+}  // namespace ccd::exp

@@ -1,0 +1,67 @@
+// ShardPlanner: deterministically partition a SweepGrid's cells into K
+// self-contained shard specs for multi-process / multi-host execution.
+//
+// A shard spec carries everything a worker needs -- the full grid (so the
+// hash(grid_seed, run_index) seed stream is reproduced exactly), the cell
+// subset it owns, and the grid fingerprint that makes stale shard files
+// unmergeable by construction.  Cells, not runs, are the partition unit:
+// every cell's seeds stay together, so per-cell aggregates computed by a
+// shard are bit-identical to the same cells inside a full-grid run and the
+// merged report needs no cross-shard statistics arithmetic beyond the
+// exact Stats/Aggregate merge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/sweep_grid.hpp"
+
+namespace ccd::exp {
+
+/// How cells map to shards.  kContiguous gives shard i the balanced range
+/// [floor(i*N/K), floor((i+1)*N/K)) -- cache-friendly and trivially
+/// describable; kStrided gives it {c : c mod K == i} -- load-balancing
+/// when cell cost varies systematically along the enumeration order.
+enum class ShardMode : std::uint8_t { kContiguous, kStrided };
+
+const char* to_string(ShardMode m);
+std::optional<ShardMode> parse_shard_mode(const std::string& s);
+
+struct ShardSpec {
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  ShardMode mode = ShardMode::kContiguous;
+  /// Fingerprint of `grid` at planning time; from_json re-derives the
+  /// grid's fingerprint and rejects the file on mismatch (a hand-edited or
+  /// stale shard must not run, let alone merge).
+  std::uint64_t grid_fingerprint = 0;
+  SweepGrid grid;
+
+  /// The cells this shard owns, ascending.  May be empty (K > num_cells):
+  /// an empty shard runs nothing and contributes nothing at merge time,
+  /// which is still an exact merge.
+  std::vector<std::size_t> cell_indices() const;
+  bool owns_cell(std::size_t cell) const;
+
+  /// Self-contained shard JSON ("ccd-shard-spec-v1").
+  std::string to_json() const;
+  static std::optional<ShardSpec> from_json(const std::string& json,
+                                            std::string* error = nullptr);
+};
+
+class ShardPlanner {
+ public:
+  /// Partition `grid` into `count` shards (count >= 1) covering every cell
+  /// exactly once.  Deterministic: same (grid, count, mode) -> same specs.
+  static std::vector<ShardSpec> plan(const SweepGrid& grid, std::size_t count,
+                                     ShardMode mode = ShardMode::kContiguous);
+};
+
+/// 16-hex-digit rendering used for fingerprints in shard JSON (readable in
+/// error messages, greppable across shard files).
+std::string fingerprint_to_hex(std::uint64_t fp);
+std::optional<std::uint64_t> fingerprint_from_hex(const std::string& s);
+
+}  // namespace ccd::exp

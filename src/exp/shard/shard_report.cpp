@@ -1,0 +1,269 @@
+#include "exp/shard/shard_report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "exp/flat_json.hpp"
+
+namespace ccd::exp {
+
+namespace {
+
+// Field tables keep the serializer and parser in lockstep: a counter or
+// statistic added to CellAggregate only needs one entry here to flow
+// through shard reports, checkpoints and the merge.
+struct CounterField {
+  const char* key;
+  std::size_t CellAggregate::* member;
+};
+constexpr CounterField kCounters[] = {
+    {"runs", &CellAggregate::runs},
+    {"solved", &CellAggregate::solved},
+    {"agreement_failures", &CellAggregate::agreement_failures},
+    {"validity_failures", &CellAggregate::validity_failures},
+    {"termination_failures", &CellAggregate::termination_failures},
+    {"crashed_processes", &CellAggregate::crashed_processes},
+    {"mh_runs", &CellAggregate::mh_runs},
+    {"disconnected", &CellAggregate::disconnected},
+    {"full_coverage", &CellAggregate::full_coverage},
+    {"mis_violations", &CellAggregate::mis_violations},
+    {"mh_crashes_applied", &CellAggregate::mh_crashes_applied},
+    {"phase2_skipped", &CellAggregate::phase2_skipped},
+};
+
+struct StatsField {
+  const char* key;
+  Stats CellAggregate::* member;
+};
+constexpr StatsField kStats[] = {
+    {"decision_round", &CellAggregate::decision_round},
+    {"rounds_after_cst", &CellAggregate::rounds_after_cst},
+    {"rounds_executed", &CellAggregate::rounds_executed},
+    {"surviving_fraction", &CellAggregate::surviving_fraction},
+    {"coverage_rounds", &CellAggregate::coverage_rounds},
+    {"coverage_fraction", &CellAggregate::coverage_fraction},
+    {"mis_size", &CellAggregate::mis_size},
+    {"mis_settle_round", &CellAggregate::mis_settle_round},
+    {"messages_per_node", &CellAggregate::messages_per_node},
+    {"diameter", &CellAggregate::diameter},
+};
+
+/// "12" or "3..17" (inclusive) range rendering for coverage errors.
+std::string render_ranges(const std::vector<std::size_t>& cells) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < cells.size()) {
+    std::size_t j = i;
+    while (j + 1 < cells.size() && cells[j + 1] == cells[j] + 1) ++j;
+    if (!out.empty()) out += ", ";
+    out += std::to_string(cells[i]);
+    if (j > i) out += ".." + std::to_string(cells[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cell_aggregate_to_json(const CellAggregate& cell) {
+  std::string out = "{\"cell\":" + std::to_string(cell.cell_index);
+  for (const CounterField& f : kCounters) {
+    out += ",\"";
+    out += f.key;
+    out += "\":" + std::to_string(cell.*(f.member));
+  }
+  for (const StatsField& f : kStats) {
+    out += ",\"";
+    out += f.key;
+    out += "\":";
+    jsonu::append_double_array(out, (cell.*(f.member)).samples());
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<CellAggregate> cell_aggregate_from_json(const SweepGrid& grid,
+                                                      const std::string& json,
+                                                      std::string* error) {
+  auto fail = [&](const std::string& message)
+      -> std::optional<CellAggregate> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  auto flat = jsonu::FlatJson::parse(json);
+  if (!flat) return fail("cell aggregate is not a flat JSON object");
+
+  const std::string* cell_raw = flat->find("cell");
+  if (!cell_raw) return fail("cell aggregate missing key 'cell'");
+  char* end = nullptr;
+  const unsigned long long c = std::strtoull(cell_raw->c_str(), &end, 10);
+  if (!end || *end != '\0' || cell_raw->empty() ||
+      (*cell_raw)[0] == '-') {  // strtoull would silently wrap negatives
+    return fail("bad value '" + *cell_raw + "' for key 'cell'");
+  }
+  if (c >= grid.num_cells()) {
+    return fail("cell " + std::to_string(c) + " out of range (grid has " +
+                std::to_string(grid.num_cells()) + " cells)");
+  }
+
+  CellAggregate cell = empty_cell_aggregate(grid, static_cast<std::size_t>(c));
+  for (const CounterField& f : kCounters) {
+    const std::string* raw = flat->find(f.key);
+    if (!raw) return fail(std::string("cell aggregate missing key '") +
+                          f.key + "'");
+    char* num_end = nullptr;
+    const unsigned long long v = std::strtoull(raw->c_str(), &num_end, 10);
+    if (!num_end || *num_end != '\0' || raw->empty() || (*raw)[0] == '-') {
+      return fail("bad value '" + *raw + "' for key '" + f.key + "'");
+    }
+    cell.*(f.member) = static_cast<std::size_t>(v);
+  }
+  for (const StatsField& f : kStats) {
+    const std::string* raw = flat->find(f.key);
+    if (!raw) return fail(std::string("cell aggregate missing key '") +
+                          f.key + "'");
+    auto samples = jsonu::parse_double_array(*raw);
+    if (!samples) {
+      return fail(std::string("key '") + f.key +
+                  "' must be an array of numbers");
+    }
+    // add() replay reproduces the worker's accumulator state exactly
+    // (samples are serialized losslessly and in insertion order).
+    Stats& stats = cell.*(f.member);
+    for (double x : *samples) stats.add(x);
+  }
+  return cell;
+}
+
+std::string ShardReport::to_json() const {
+  std::string out = "{\"format\":\"ccd-shard-report-v1\"";
+  out += ",\"shard_index\":" + std::to_string(shard.shard_index);
+  out += ",\"shard_count\":" + std::to_string(shard.shard_count);
+  out += ",\"mode\":\"";
+  out += to_string(shard.mode);
+  out += "\",\"grid_fingerprint\":\"" +
+         fingerprint_to_hex(shard.grid_fingerprint);
+  out += "\",\"grid\":" + shard.grid.to_json();
+  out += ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ",";
+    out += cell_aggregate_to_json(cells[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<ShardReport> ShardReport::from_json(const std::string& json,
+                                                  std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<ShardReport> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  auto flat = jsonu::FlatJson::parse(json);
+  if (!flat) return fail("shard report is not a flat JSON object");
+  const std::string* format = flat->find("format");
+  if (!format || *format != "ccd-shard-report-v1") {
+    return fail(
+        "missing or unknown \"format\" (expected ccd-shard-report-v1)");
+  }
+
+  // The report header doubles as a shard spec; reuse its parser (and its
+  // fingerprint-vs-grid consistency check) by re-wrapping the members.
+  std::string spec_json = "{\"format\":\"ccd-shard-spec-v1\"";
+  for (const char* key :
+       {"shard_index", "shard_count", "mode", "grid_fingerprint"}) {
+    const std::string* raw = flat->find(key);
+    if (!raw) return fail(std::string("missing key '") + key + "'");
+    spec_json += ",\"";
+    spec_json += key;
+    spec_json += "\":";
+    spec_json += (key == std::string("shard_index") ||
+                  key == std::string("shard_count"))
+                     ? *raw
+                     : jsonu::quote(*raw);
+  }
+  const std::string* grid_raw = flat->find("grid");
+  if (!grid_raw) return fail("missing key 'grid'");
+  spec_json += ",\"grid\":" + *grid_raw + "}";
+
+  ShardReport report;
+  std::string spec_error;
+  auto spec = ShardSpec::from_json(spec_json, &spec_error);
+  if (!spec) return fail(spec_error);
+  report.shard = std::move(*spec);
+
+  const std::string* cells_raw = flat->find("cells");
+  if (!cells_raw) return fail("missing key 'cells'");
+  auto items = jsonu::parse_array_items(*cells_raw);
+  if (!items) return fail("'cells' is not a JSON array");
+  report.cells.reserve(items->size());
+  for (std::size_t i = 0; i < items->size(); ++i) {
+    std::string cell_error;
+    auto cell =
+        cell_aggregate_from_json(report.shard.grid, (*items)[i], &cell_error);
+    if (!cell) {
+      return fail("cells[" + std::to_string(i) + "]: " + cell_error);
+    }
+    report.cells.push_back(std::move(*cell));
+  }
+  return report;
+}
+
+std::optional<MergeResult> merge_shard_reports(
+    const std::vector<ShardReport>& reports, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<MergeResult> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  if (reports.empty()) return fail("no shard reports to merge");
+
+  const std::uint64_t fp = reports.front().shard.grid_fingerprint;
+  for (const ShardReport& r : reports) {
+    if (r.shard.grid_fingerprint != fp) {
+      return fail("grid fingerprint mismatch: shard " +
+                  std::to_string(reports.front().shard.shard_index) +
+                  " was planned over grid " + fingerprint_to_hex(fp) +
+                  " but shard " + std::to_string(r.shard.shard_index) +
+                  " over grid " + fingerprint_to_hex(r.shard.grid_fingerprint) +
+                  " (shards from different grids cannot merge)");
+    }
+  }
+
+  MergeResult result;
+  result.grid = reports.front().shard.grid;
+  const std::size_t n = result.grid.num_cells();
+  result.cells.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    result.cells.push_back(empty_cell_aggregate(result.grid, c));
+  }
+
+  // Exactly-once coverage: every cell merged from precisely one report.
+  // (Duplicate detection is per CELL, not per shard range, so overlapping
+  // splits -- say a 3-way and a 4-way plan mixed together -- are caught.)
+  std::vector<std::size_t> owner(n, ~std::size_t{0});
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    for (const CellAggregate& cell : reports[r].cells) {
+      if (owner[cell.cell_index] != ~std::size_t{0}) {
+        return fail(
+            "duplicate cell " + std::to_string(cell.cell_index) +
+            ": reported by both shard " +
+            std::to_string(reports[owner[cell.cell_index]].shard.shard_index) +
+            " and shard " + std::to_string(reports[r].shard.shard_index));
+      }
+      owner[cell.cell_index] = r;
+      merge_cell_aggregate(result.cells[cell.cell_index], cell);
+    }
+  }
+  std::vector<std::size_t> missing;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (owner[c] == ~std::size_t{0}) missing.push_back(c);
+  }
+  if (!missing.empty()) {
+    return fail("missing cells: " + render_ranges(missing) + " (" +
+                std::to_string(missing.size()) + " of " + std::to_string(n) +
+                "; is a shard report absent or truncated?)");
+  }
+  return result;
+}
+
+}  // namespace ccd::exp

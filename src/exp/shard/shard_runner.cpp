@@ -1,0 +1,185 @@
+#include "exp/shard/shard_runner.hpp"
+
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "exp/flat_json.hpp"
+
+namespace ccd::exp {
+
+namespace {
+
+std::string checkpoint_header(const ShardSpec& shard) {
+  std::string out = "{\"format\":\"ccd-shard-checkpoint-v1\"";
+  out += ",\"grid_fingerprint\":\"" +
+         fingerprint_to_hex(shard.grid_fingerprint);
+  out += "\",\"shard_index\":" + std::to_string(shard.shard_index);
+  out += ",\"shard_count\":" + std::to_string(shard.shard_count);
+  out += "}";
+  return out;
+}
+
+/// Parse an existing checkpoint file into completed cell aggregates.
+/// Trailing partial lines (the crash case: the process died mid-write) are
+/// tolerated and dropped; anything else malformed is an error.
+bool load_checkpoint(const ShardSpec& shard, const std::string& path,
+                     std::map<std::size_t, CellAggregate>& completed,
+                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return true;  // no file yet: nothing completed
+  std::string line;
+  if (!std::getline(in, line)) return true;  // empty file
+  {
+    auto flat = jsonu::FlatJson::parse(line);
+    const std::string* format = flat ? flat->find("format") : nullptr;
+    if (!format || *format != "ccd-shard-checkpoint-v1") {
+      if (error) {
+        *error = "checkpoint " + path +
+                 ": missing or unknown header (expected "
+                 "ccd-shard-checkpoint-v1)";
+      }
+      return false;
+    }
+    const std::string* fp = flat->find("grid_fingerprint");
+    if (!fp || *fp != fingerprint_to_hex(shard.grid_fingerprint)) {
+      if (error) {
+        *error = "checkpoint " + path + ": grid fingerprint " +
+                 (fp ? *fp : std::string("<missing>")) +
+                 " does not match this shard's grid " +
+                 fingerprint_to_hex(shard.grid_fingerprint) +
+                 " (stale checkpoint from another grid?)";
+      }
+      return false;
+    }
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string cell_error;
+    auto cell = cell_aggregate_from_json(shard.grid, line, &cell_error);
+    if (!cell) {
+      // A final partial line is the expected crash artifact; only the LAST
+      // line gets that amnesty.
+      if (in.peek() == std::ifstream::traits_type::eof()) break;
+      if (error) {
+        *error = "checkpoint " + path + " line " + std::to_string(line_no) +
+                 ": " + cell_error;
+      }
+      return false;
+    }
+    if (!shard.owns_cell(cell->cell_index)) {
+      if (error) {
+        *error = "checkpoint " + path + " line " + std::to_string(line_no) +
+                 ": cell " + std::to_string(cell->cell_index) +
+                 " is not owned by shard " +
+                 std::to_string(shard.shard_index) + "/" +
+                 std::to_string(shard.shard_count);
+      }
+      return false;
+    }
+    completed[cell->cell_index] = std::move(*cell);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ShardReport> run_shard(const ShardSpec& shard,
+                                     const ShardRunOptions& options,
+                                     std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<ShardReport> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  if (shard.grid.seeds_per_cell == 0) {
+    return fail("shard grid has seeds_per_cell 0: no runs to execute");
+  }
+
+  const std::vector<std::size_t> owned = shard.cell_indices();
+  std::map<std::size_t, CellAggregate> completed;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    if (!load_checkpoint(shard, options.checkpoint_path, completed, error)) {
+      return std::nullopt;
+    }
+  }
+
+  // Remaining cells and their run indices.  Runs are enumerated in global
+  // run-index order, so the per-cell fold order matches a full-grid run.
+  const std::uint32_t spc = shard.grid.seeds_per_cell;
+  std::vector<std::size_t> remaining;
+  std::vector<std::size_t> run_indices;
+  for (std::size_t c : owned) {
+    if (completed.count(c)) continue;
+    remaining.push_back(c);
+    for (std::uint32_t s = 0; s < spc; ++s) {
+      run_indices.push_back(c * spc + s);
+    }
+  }
+
+  // The checkpoint is rewritten whole on open (header + every completed
+  // cell), not appended to: a torn final line from a crash would otherwise
+  // glue onto the next marker and poison the file for the resume after
+  // this one.  Rewriting also heals the torn line itself.
+  std::ofstream checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    checkpoint.open(options.checkpoint_path,
+                    std::ios::binary | std::ios::trunc);
+    if (!checkpoint) {
+      return fail("cannot write checkpoint " + options.checkpoint_path);
+    }
+    checkpoint << checkpoint_header(shard) << "\n";
+    for (const auto& [c, cell] : completed) {
+      (void)c;
+      checkpoint << cell_aggregate_to_json(cell) << "\n";
+    }
+    checkpoint << std::flush;
+  }
+
+  // Per-cell completion tracking: when a cell's last seed lands, fold its
+  // records (slot order = run order, so the fold is deterministic) and
+  // emit the checkpoint marker.  The mutex serializes marker writes; cell
+  // ORDER in the file is completion order, which is fine -- resume keys by
+  // cell index, and the report sorts below.
+  std::map<std::size_t, std::vector<const RunRecord*>> slots;
+  std::map<std::size_t, std::uint32_t> pending;
+  for (std::size_t c : remaining) {
+    slots[c].assign(spc, nullptr);
+    pending[c] = spc;
+  }
+  std::mutex mu;
+  std::map<std::size_t, CellAggregate> fresh_cells;
+  SweepOptions sweep = options.sweep;
+  sweep.on_record = [&](const RunRecord& record) {
+    if (options.sweep.on_record) options.sweep.on_record(record);
+    std::lock_guard<std::mutex> lock(mu);
+    const std::size_t c = record.cell_index;
+    slots[c][record.run_index - c * spc] = &record;
+    if (--pending[c] > 0) return;
+    CellAggregate cell = empty_cell_aggregate(shard.grid, c);
+    for (const RunRecord* r : slots[c]) accumulate_run(cell, *r);
+    if (checkpoint.is_open()) {
+      checkpoint << cell_aggregate_to_json(cell) << "\n" << std::flush;
+    }
+    fresh_cells[c] = std::move(cell);
+  };
+
+  // The records vector outlives the pool (slots hold pointers into it).
+  run_subset(shard.grid, run_indices, sweep);
+
+  ShardReport report;
+  report.shard = shard;
+  report.cells.reserve(owned.size());
+  for (std::size_t c : owned) {
+    auto it = completed.find(c);
+    if (it != completed.end()) {
+      report.cells.push_back(std::move(it->second));
+    } else {
+      report.cells.push_back(std::move(fresh_cells.at(c)));
+    }
+  }
+  return report;
+}
+
+}  // namespace ccd::exp

@@ -1,7 +1,10 @@
 #include "exp/sweep_grid.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <type_traits>
 
+#include "exp/flat_json.hpp"
 #include "util/rng.hpp"
 
 namespace ccd::exp {
@@ -225,6 +228,214 @@ std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
 
 std::vector<std::string> SweepGrid::grid_names() {
   return {"smoke", "default", "policies", "crash", "multihop"};
+}
+
+namespace {
+
+template <typename T>
+void append_enum_axis(std::string& out, const char* key,
+                      const std::vector<T>& axis) {
+  out += "\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += to_string(axis[i]);
+    out += "\"";
+  }
+  out += "],";
+}
+
+void append_string_axis(std::string& out, const char* key,
+                        const std::vector<std::string>& axis) {
+  out += "\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (i > 0) out += ",";
+    out += jsonu::quote(axis[i]);
+  }
+  out += "],";
+}
+
+template <typename T>
+void append_uint_axis(std::string& out, const char* key,
+                      const std::vector<T>& axis) {
+  out += "\"";
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(axis[i]);
+  }
+  out += "],";
+}
+
+}  // namespace
+
+std::string SweepGrid::to_json() const {
+  // Fixed key order; every axis present even when empty.  This exact byte
+  // sequence is the fingerprint() preimage, so the order is part of the
+  // shard-compatibility contract -- do not reorder.
+  std::string out = "{";
+  out += "\"grid_seed\":" + std::to_string(grid_seed);
+  out += ",\"seeds_per_cell\":" + std::to_string(seeds_per_cell);
+  out += ",\"base\":" + base.to_json();
+  out += ",";
+  append_enum_axis(out, "algs", algs);
+  append_enum_axis(out, "detectors", detectors);
+  append_enum_axis(out, "policies", policies);
+  append_enum_axis(out, "cms", cms);
+  append_enum_axis(out, "losses", losses);
+  append_enum_axis(out, "faults", faults);
+  append_uint_axis(out, "ns", ns);
+  append_uint_axis(out, "value_spaces", value_spaces);
+  append_uint_axis(out, "csts", csts);
+  append_enum_axis(out, "topologies", topologies);
+  out += "\"densities\":[";
+  for (std::size_t i = 0; i < densities.size(); ++i) {
+    if (i > 0) out += ",";
+    out += jsonu::format_double(densities[i]);
+  }
+  out += "],";
+  append_enum_axis(out, "workloads", workloads);
+  append_string_axis(out, "crash_schedules", crash_schedules);
+  out.back() = '}';
+  return out;
+}
+
+std::optional<SweepGrid> SweepGrid::from_json(const std::string& json,
+                                              std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<SweepGrid> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  auto flat = jsonu::FlatJson::parse(json);
+  if (!flat) return fail("grid is not a flat JSON object");
+
+  SweepGrid grid;
+  bool ok = true;
+  std::string first_error;
+  auto report = [&](const std::string& message) {
+    if (ok) first_error = message;
+    ok = false;
+  };
+  auto read_enum_axis = [&](const char* key, auto parse_fn, auto& axis) {
+    const std::string* raw = flat->find(key);
+    if (!raw) return;  // absent axis stays empty
+    auto items = jsonu::parse_array_items(*raw);
+    if (!items) {
+      report(std::string("axis '") + key + "' is not a JSON array");
+      return;
+    }
+    axis.clear();
+    for (const std::string& item : *items) {
+      auto parsed = parse_fn(item);
+      if (!parsed) {
+        report("bad value '" + item + "' for axis '" + key + "'");
+        return;
+      }
+      axis.push_back(*parsed);
+    }
+  };
+  auto read_uint_axis = [&](const char* key, auto& axis) {
+    const std::string* raw = flat->find(key);
+    if (!raw) return;
+    auto items = jsonu::parse_u64_array(*raw);
+    if (!items) {
+      report(std::string("axis '") + key +
+             "' must be an array of unsigned integers");
+      return;
+    }
+    axis.clear();
+    for (std::uint64_t v : *items) {
+      axis.push_back(
+          static_cast<typename std::remove_reference_t<
+              decltype(axis)>::value_type>(v));
+    }
+  };
+
+  static const char* const known_keys[] = {
+      "grid_seed", "seeds_per_cell", "base",       "algs",
+      "detectors", "policies",       "cms",        "losses",
+      "faults",    "ns",             "value_spaces", "csts",
+      "topologies", "densities",     "workloads",  "crash_schedules"};
+  for (const auto& [key, value] : flat->members) {
+    (void)value;
+    bool known = false;
+    for (const char* k : known_keys) known = known || key == k;
+    // A typo'd axis name must not silently sweep nothing.
+    if (!known) return fail("unknown key '" + key + "' in grid JSON");
+  }
+
+  if (const std::string* raw = flat->find("base")) {
+    std::string base_error;
+    auto base = ScenarioSpec::from_json(*raw, &base_error);
+    if (base) {
+      grid.base = *base;
+    } else {
+      report("base: " + base_error);
+    }
+  }
+  if (const std::string* raw = flat->find("grid_seed")) {
+    char* end = nullptr;
+    grid.grid_seed = std::strtoull(raw->c_str(), &end, 10);
+    if (!end || *end != '\0' || raw->empty() || (*raw)[0] == '-') {
+      report("bad value '" + *raw + "' for key 'grid_seed'");
+    }
+  }
+  if (const std::string* raw = flat->find("seeds_per_cell")) {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(raw->c_str(), &end, 10);
+    if (!end || *end != '\0' || raw->empty() || (*raw)[0] == '-' ||
+        v > ~0u) {
+      report("bad value '" + *raw + "' for key 'seeds_per_cell'");
+    } else {
+      grid.seeds_per_cell = static_cast<std::uint32_t>(v);
+    }
+  }
+  read_enum_axis("algs", parse_alg, grid.algs);
+  read_enum_axis("detectors", parse_detector, grid.detectors);
+  read_enum_axis("policies", parse_policy, grid.policies);
+  read_enum_axis("cms", parse_cm, grid.cms);
+  read_enum_axis("losses", parse_loss, grid.losses);
+  read_enum_axis("faults", parse_fault, grid.faults);
+  read_uint_axis("ns", grid.ns);
+  read_uint_axis("value_spaces", grid.value_spaces);
+  read_uint_axis("csts", grid.csts);
+  read_enum_axis("topologies", parse_topology, grid.topologies);
+  if (const std::string* raw = flat->find("densities")) {
+    auto items = jsonu::parse_double_array(*raw);
+    if (items) {
+      grid.densities = *items;
+    } else {
+      report("axis 'densities' must be an array of numbers");
+    }
+  }
+  read_enum_axis("workloads", parse_workload, grid.workloads);
+  if (const std::string* raw = flat->find("crash_schedules")) {
+    auto items = jsonu::parse_array_items(*raw);
+    if (items) {
+      grid.crash_schedules = *items;  // names validated by validate()
+    } else {
+      report("axis 'crash_schedules' is not a JSON array");
+    }
+  }
+
+  if (!ok) return fail(first_error);
+  return grid;
+}
+
+std::uint64_t SweepGrid::fingerprint() const {
+  // FNV-1a 64 over the canonical JSON.
+  const std::string canon = to_json();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : canon) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 }  // namespace ccd::exp

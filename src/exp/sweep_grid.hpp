@@ -75,6 +75,22 @@ struct SweepGrid {
   /// multihop executor).
   static std::optional<SweepGrid> named(const std::string& name);
   static std::vector<std::string> grid_names();
+
+  /// Canonical self-describing JSON: the base spec plus every axis (empty
+  /// axes included), seeds_per_cell and grid_seed, in a fixed key order.
+  /// from_json inverts it exactly; shard specs and shard reports embed this
+  /// so a shard file is runnable and mergeable on its own.
+  std::string to_json() const;
+  static std::optional<SweepGrid> from_json(const std::string& json,
+                                            std::string* error = nullptr);
+
+  /// FNV-1a over the canonical JSON: the shard-compatibility fingerprint.
+  /// Two shard artifacts recombine only if their fingerprints agree --
+  /// any change to an axis, the base spec, the seed discipline or the
+  /// serialization itself makes stale shards unmergeable by construction.
+  std::uint64_t fingerprint() const;
+
+  friend bool operator==(const SweepGrid&, const SweepGrid&) = default;
 };
 
 }  // namespace ccd::exp

@@ -25,9 +25,15 @@ RunRecord run_one(const SweepGrid& grid, std::size_t run_index,
   return record;
 }
 
-std::vector<RunRecord> run_sweep(const SweepGrid& grid,
-                                 const SweepOptions& options) {
-  const std::size_t total = grid.num_runs();
+namespace {
+
+/// Shared pool core: workers claim slot j and execute run index_of(j).
+/// Results land in the slot owned by j, so the returned vector's order is
+/// the caller's index order regardless of scheduling.
+template <typename IndexOf>
+std::vector<RunRecord> run_pool(const SweepGrid& grid, std::size_t total,
+                                const SweepOptions& options,
+                                IndexOf index_of) {
   std::vector<RunRecord> records(total);
   if (total == 0) return records;
 
@@ -41,9 +47,10 @@ std::vector<RunRecord> run_sweep(const SweepGrid& grid,
   std::atomic<std::size_t> done{0};
   auto worker = [&] {
     while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
-      records[i] = run_one(grid, i, options.record_views);
+      const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
+      if (j >= total) return;
+      records[j] = run_one(grid, index_of(j), options.record_views);
+      if (options.on_record) options.on_record(records[j]);
       const std::size_t finished =
           done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options.progress) options.progress(finished, total);
@@ -59,6 +66,21 @@ std::vector<RunRecord> run_sweep(const SweepGrid& grid,
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   return records;
+}
+
+}  // namespace
+
+std::vector<RunRecord> run_sweep(const SweepGrid& grid,
+                                 const SweepOptions& options) {
+  return run_pool(grid, grid.num_runs(), options,
+                  [](std::size_t j) { return j; });
+}
+
+std::vector<RunRecord> run_subset(const SweepGrid& grid,
+                                  const std::vector<std::size_t>& run_indices,
+                                  const SweepOptions& options) {
+  return run_pool(grid, run_indices.size(), options,
+                  [&](std::size_t j) { return run_indices[j]; });
 }
 
 }  // namespace ccd::exp

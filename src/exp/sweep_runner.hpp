@@ -41,11 +41,23 @@ struct SweepOptions {
   /// Invoked after each completed run with the number finished so far.
   /// Called from worker threads; must be thread-safe.  May be empty.
   std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Invoked after each completed run with its record, before `progress`.
+  /// Called from worker threads; must be thread-safe.  May be empty.  The
+  /// shard runner uses this for per-cell checkpoint markers.
+  std::function<void(const RunRecord& record)> on_record;
 };
 
 /// Run the whole grid; returns one record per run, ordered by run_index.
 std::vector<RunRecord> run_sweep(const SweepGrid& grid,
                                  const SweepOptions& options = {});
+
+/// Run an explicit subset of the grid's run indices (the shard worker
+/// path).  Records are returned in the order of `run_indices`; each run is
+/// seeded by its GLOBAL run index, so a shard executes bit-identically to
+/// the same indices inside a full-grid run.
+std::vector<RunRecord> run_subset(const SweepGrid& grid,
+                                  const std::vector<std::size_t>& run_indices,
+                                  const SweepOptions& options = {});
 
 /// Execute a single run of the grid (what each worker does per index).
 RunRecord run_one(const SweepGrid& grid, std::size_t run_index,

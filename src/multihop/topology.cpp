@@ -133,6 +133,91 @@ std::uint32_t Topology::eccentricity(std::size_t from) const {
   return worst;
 }
 
+std::vector<std::uint32_t> Topology::articulation_points() const {
+  const std::size_t n = size();
+  std::vector<std::uint32_t> disc(n, 0), low(n, 0);
+  std::vector<bool> is_cut(n, false);
+  std::uint32_t timer = 0;
+
+  // Iterative Tarjan DFS (an explicit stack keeps 1e5-node rgg sweeps off
+  // the call stack).  Each frame remembers which neighbor index it resumes
+  // at; low-link values propagate when a child frame retires.
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t parent;
+    std::size_t next_edge = 0;
+    std::uint32_t children = 0;  // DFS-tree children (root cut rule)
+  };
+  std::vector<Frame> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (disc[root] != 0) continue;
+    stack.push_back({static_cast<std::uint32_t>(root), kUnreachable});
+    disc[root] = low[root] = ++timer;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_edge < adjacency_[f.node].size()) {
+        const std::uint32_t to = adjacency_[f.node][f.next_edge++];
+        if (to == f.parent) continue;
+        if (disc[to] != 0) {
+          low[f.node] = std::min(low[f.node], disc[to]);
+        } else {
+          ++f.children;
+          disc[to] = low[to] = ++timer;
+          stack.push_back({to, f.node});
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (done.parent == kUnreachable) {
+          // Root rule: a DFS root is a cut vertex iff it has > 1 children.
+          if (done.children > 1) is_cut[done.node] = true;
+        } else {
+          Frame& up = stack.back();
+          low[up.node] = std::min(low[up.node], low[done.node]);
+          // Non-root rule: no back edge from `done`'s subtree climbs above
+          // `up`, so removing `up` severs that subtree.
+          if (low[done.node] >= disc[up.node] &&
+              up.parent != kUnreachable) {
+            is_cut[up.node] = true;
+          }
+        }
+      }
+    }
+  }
+  std::vector<std::uint32_t> cuts;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_cut[i]) cuts.push_back(static_cast<std::uint32_t>(i));
+  }
+  return cuts;
+}
+
+std::size_t Topology::largest_component_without(std::size_t v) const {
+  const std::size_t n = size();
+  std::vector<bool> seen(n, false);
+  seen[v] = true;  // removed
+  std::size_t largest = 0;
+  std::deque<std::uint32_t> queue;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::size_t count = 0;
+    seen[s] = true;
+    queue.push_back(static_cast<std::uint32_t>(s));
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop_front();
+      ++count;
+      for (std::uint32_t w : adjacency_[u]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    largest = std::max(largest, count);
+  }
+  return largest;
+}
+
 std::uint32_t Topology::diameter() const {
   std::uint32_t worst = 0;
   for (std::size_t i = 0; i < size(); ++i) {

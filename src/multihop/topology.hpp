@@ -56,6 +56,17 @@ class Topology {
   /// Eccentricity of one node: max hop distance to any other node.
   std::uint32_t eccentricity(std::size_t from) const;
 
+  /// Cut vertices (Tarjan low-link), ascending.  A node is an articulation
+  /// point iff removing it disconnects its connected component -- every
+  /// interior node of a line, no node of a ring or clique.  The
+  /// "articulation-point" crash-schedule generator targets these.
+  std::vector<std::uint32_t> articulation_points() const;
+
+  /// Size of the largest connected component of the graph with node `v`
+  /// removed (0 for a graph of one node).  Ranks articulation points by
+  /// damage: smaller is a more balanced, worse partition.
+  std::size_t largest_component_without(std::size_t v) const;
+
  private:
   explicit Topology(std::size_t n) : adjacency_(n) {}
   void add_edge(std::size_t a, std::size_t b);

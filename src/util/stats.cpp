@@ -15,6 +15,16 @@ void Stats::add(double x) {
   sorted_valid_ = false;
 }
 
+void Stats::merge_from(const Stats& other) {
+  // Replaying add() (rather than summing the accumulators) keeps the
+  // floating-point fold order identical to a single-pass accumulation, so
+  // sum_/sum_sq_ are exact, not merely close.  `other` may alias `this`:
+  // snapshot the count first (samples_ may reallocate mid-loop).
+  const std::size_t count = other.samples_.size();
+  samples_.reserve(samples_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) add(other.samples_[i]);
+}
+
 void Stats::ensure_sorted() const {
   if (!sorted_valid_) {
     sorted_ = samples_;

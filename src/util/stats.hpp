@@ -19,6 +19,19 @@ class Stats {
  public:
   void add(double x);
 
+  /// Exact merge: folds `other`'s samples into this accumulator in their
+  /// insertion order, exactly as the equivalent sequence of add() calls
+  /// would -- count/sum/min/max and the percentile buffer all end up
+  /// bit-identical to a single-pass accumulation of this's samples
+  /// followed by other's.  This is what makes shard reports recombinable
+  /// into byte-identical full reports (see exp/shard/).
+  void merge_from(const Stats& other);
+
+  /// Insertion-order sample buffer (the percentile buffer's source of
+  /// truth).  Exposed so shard reports can serialize a Stats and rebuild
+  /// it exactly via add() replay.
+  const std::vector<double>& samples() const { return samples_; }
+
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
   double min() const;

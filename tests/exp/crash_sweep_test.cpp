@@ -5,6 +5,8 @@
 // multihop sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "exp/aggregator.hpp"
 #include "exp/sweep_grid.hpp"
 #include "exp/sweep_runner.hpp"
@@ -138,6 +140,45 @@ TEST(CrashScheduleGenerators, SourceDiesAndUnknownNames) {
   for (const std::string& name : crash_schedule_names()) {
     EXPECT_TRUE(generate_crash_schedule(name, spec).has_value()) << name;
   }
+}
+
+TEST(CrashScheduleGenerators, ArticulationPointTargetsTheWorstCutVertex) {
+  // On a line every interior node is a cut vertex; the generator must pick
+  // the one whose removal minimizes the largest surviving component -- the
+  // middle -- and kill it with the source-dies opener shape (round 2,
+  // after-send).
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kLine;
+  spec.workload = WorkloadKind::kFlood;
+  spec.fault = FaultKind::kScheduled;
+  spec.n = 5;
+  auto events = generate_crash_schedule("articulation-point", spec);
+  ASSERT_TRUE(events.has_value());
+  const std::vector<CrashEvent> expected = {{2, 2, CrashPoint::kAfterSend}};
+  EXPECT_EQ(*events, expected);
+
+  // Even n: both middles split {2,3} / {3,2}; lowest id wins the tie.
+  spec.n = 6;
+  events = generate_crash_schedule("articulation-point", spec);
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ((*events)[0].process, 2u);
+
+  // No cut vertex (ring, clique) -> empty, failure-free schedule.
+  spec.topology = TopologyKind::kRing;
+  EXPECT_TRUE(generate_crash_schedule("articulation-point", spec)->empty());
+  spec.topology = TopologyKind::kSingleHop;
+  EXPECT_TRUE(generate_crash_schedule("articulation-point", spec)->empty());
+
+  // Deterministic, registered, and survivor-preserving for tiny n.
+  spec.topology = TopologyKind::kLine;
+  EXPECT_EQ(*generate_crash_schedule("articulation-point", spec),
+            *generate_crash_schedule("articulation-point", spec));
+  spec.n = 2;
+  EXPECT_TRUE(generate_crash_schedule("articulation-point", spec)->empty());
+  const auto names = crash_schedule_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "articulation-point"),
+            names.end());
 }
 
 TEST(CrashScheduleGenerators, NamedGeneratorWinsOverExplicitList) {

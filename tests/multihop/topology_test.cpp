@@ -119,5 +119,32 @@ TEST(Topology, EccentricityConsistentWithDiameter) {
   EXPECT_EQ(t.eccentricity(0), 8u);
 }
 
+TEST(Topology, ArticulationPointsOnStandardShapes) {
+  // Line: every interior node is a cut vertex (the Omega(D) worst case is
+  // also the partition worst case).
+  const Topology line = Topology::line(5);
+  EXPECT_EQ(line.articulation_points(),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  // Ring and clique: 2-connected, no cut vertex anywhere.
+  EXPECT_TRUE(Topology::ring(6).articulation_points().empty());
+  EXPECT_TRUE(Topology::clique(5).articulation_points().empty());
+  // 2xN grid: 2-connected as well.
+  EXPECT_TRUE(Topology::grid(2, 4).articulation_points().empty());
+  // Degenerate sizes.
+  EXPECT_TRUE(Topology::line(1).articulation_points().empty());
+  EXPECT_TRUE(Topology::line(2).articulation_points().empty());
+}
+
+TEST(Topology, LargestComponentWithoutRanksCutDamage) {
+  const Topology line = Topology::line(5);
+  // Removing node 1 leaves {0} and {2,3,4}; removing the middle node 2
+  // leaves two pairs -- the most balanced (worst) partition.
+  EXPECT_EQ(line.largest_component_without(1), 3u);
+  EXPECT_EQ(line.largest_component_without(2), 2u);
+  // Removing a ring node leaves one path of n-1.
+  EXPECT_EQ(Topology::ring(6).largest_component_without(0), 5u);
+  EXPECT_EQ(Topology::line(1).largest_component_without(0), 0u);
+}
+
 }  // namespace
 }  // namespace ccd

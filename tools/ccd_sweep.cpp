@@ -15,15 +15,24 @@
 //             --n 16,32,64 --seeds 5
 //   ccd_sweep --grid multihop --faults scheduled
 //             --crash-schedules leaf-then-die,source-dies
+//
+// Sharded execution (recombine with ccd_merge):
+//   ccd_sweep --grid multihop --emit-shards 4 --shard-out shards/mh
+//   ccd_sweep --shard-file shards/mh-0-of-4.json --json part-0.json
+//   ccd_sweep --grid multihop --shard 1/4 --json part-1.json
+//             --checkpoint part-1.ckpt          # resumable with --resume
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "exp/aggregator.hpp"
+#include "exp/shard/shard_plan.hpp"
+#include "exp/shard/shard_runner.hpp"
 #include "exp/sweep_grid.hpp"
 #include "exp/sweep_runner.hpp"
 
@@ -49,7 +58,7 @@ axis overrides (comma-separated; replace the named grid's axis):
   --losses LIST        noloss,ecf,prob,unrestricted
   --faults LIST        none,random-crash,scheduled
   --crash-schedules L  named crash-schedule generators for fault=scheduled
-                       cells: leaf-then-die,source-dies
+                       cells: leaf-then-die,source-dies,articulation-point
   --n LIST             process counts, e.g. 4,8,16
   --values LIST        |V| per cell, e.g. 16,256
   --csts LIST          CST targets, e.g. 5,20
@@ -71,6 +80,20 @@ execution and output:
   --json PATH          write aggregate JSON report
   --csv PATH           write per-cell CSV
   --quiet              suppress the ASCII summary
+
+sharded execution (recombine the partial reports with ccd_merge):
+  --emit-shards K      write K self-contained shard spec files and exit
+  --shard-out PREFIX   spec file prefix for --emit-shards (default "shard");
+                       files are PREFIX-<i>-of-<K>.json
+  --shard-mode M       contiguous|strided cell partition (default contiguous)
+  --shard i/K          run only shard i (0-based) of a K-way split of the
+                       assembled grid; --json writes a PARTIAL shard report
+  --shard-file PATH    run the shard described by a spec file; the file is
+                       self-contained, so grid/axis flags conflict with it
+  --checkpoint PATH    (worker mode) append a per-cell completion marker to
+                       PATH as each cell finishes
+  --resume             (worker mode) skip cells already recorded in the
+                       --checkpoint file from a previous, interrupted run
 )");
 }
 
@@ -170,6 +193,36 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// "i/K" with 0 <= i < K.
+bool parse_shard_of(const std::string& arg, std::size_t& index,
+                    std::size_t& count) {
+  const std::size_t slash = arg.find('/');
+  if (slash == std::string::npos) return false;
+  std::uint64_t i = 0, k = 0;
+  if (!parse_u64_flag(arg.substr(0, slash).c_str(), "shard", i)) return false;
+  if (!parse_u64_flag(arg.substr(slash + 1).c_str(), "shard", k)) {
+    return false;
+  }
+  if (k == 0 || i >= k) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --shard wants i/K with 0 <= i < K, got '%s'\n",
+                 arg.c_str());
+    return false;
+  }
+  index = static_cast<std::size_t>(i);
+  count = static_cast<std::size_t>(k);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +230,18 @@ int main(int argc, char** argv) {
   std::string json_path, csv_path;
   unsigned threads = 0;
   bool quiet = false;
+
+  // Sharded-execution state.  `grid_flags_used` guards --shard-file: the
+  // spec file fully determines the grid, so grid-shaping flags alongside it
+  // would be silently ignored -- reject them instead.
+  std::size_t emit_shards = 0;
+  std::string shard_out = "shard";
+  ShardMode shard_mode = ShardMode::kContiguous;
+  bool have_shard = false;
+  std::size_t shard_index = 0, shard_count = 1;
+  std::string shard_file, checkpoint_path;
+  bool resume = false;
+  bool grid_flags_used = false;
 
   // First pass: find the grid so axis flags can override it.
   for (int i = 1; i < argc; ++i) {
@@ -213,6 +278,15 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    static const char* const kGridFlags[] = {
+        "--grid",      "--algs",      "--detectors",       "--policies",
+        "--cms",       "--losses",    "--faults",          "--crash-schedules",
+        "--n",         "--values",    "--csts",            "--topologies",
+        "--workloads", "--densities", "--seeds",           "--grid-seed",
+        "--chaos",     "--init",      "--p-deliver",       "--max-rounds"};
+    for (const char* g : kGridFlags) {
+      if (flag == g) grid_flags_used = true;
+    }
     bool ok = true;
     if (flag == "--grid") {
       ok = next() != nullptr;  // consumed in the first pass
@@ -300,6 +374,40 @@ int main(int argc, char** argv) {
       if (ok) csv_path = v;
     } else if (flag == "--quiet") {
       quiet = true;
+    } else if (flag == "--emit-shards") {
+      const char* v = next();
+      std::uint64_t k = 0;
+      ok = v && parse_u64_flag(v, "emit-shards", k) && k >= 1 && k <= 65536;
+      if (ok) emit_shards = static_cast<std::size_t>(k);
+    } else if (flag == "--shard-out") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) shard_out = v;
+    } else if (flag == "--shard-mode") {
+      const char* v = next();
+      auto m = v ? parse_shard_mode(v) : std::nullopt;
+      ok = m.has_value();
+      if (!ok) {
+        std::fprintf(stderr,
+                     "ccd_sweep: bad shard-mode value '%s' (expected "
+                     "contiguous or strided)\n",
+                     v ? v : "");
+      }
+      if (ok) shard_mode = *m;
+    } else if (flag == "--shard") {
+      const char* v = next();
+      ok = v && parse_shard_of(v, shard_index, shard_count);
+      if (ok) have_shard = true;
+    } else if (flag == "--shard-file") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) shard_file = v;
+    } else if (flag == "--checkpoint") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) checkpoint_path = v;
+    } else if (flag == "--resume") {
+      resume = true;
     } else {
       std::fprintf(stderr, "ccd_sweep: unknown flag '%s'\n", flag.c_str());
       usage(stderr);
@@ -308,13 +416,124 @@ int main(int argc, char** argv) {
     if (!ok) return 2;
   }
 
-  if (grid.seeds_per_cell == 0 || grid.num_cells() == 0) {
-    std::fprintf(stderr, "ccd_sweep: empty grid\n");
+  // Mode exclusivity: emit / worker / full-run are distinct modes, and the
+  // spec-file worker must own the grid alone.
+  if (!shard_file.empty() && grid_flags_used) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --shard-file is self-contained; grid and axis "
+                 "flags conflict with it\n");
     return 2;
   }
-  if (auto problem = grid.validate()) {
-    std::fprintf(stderr, "ccd_sweep: %s\n", problem->c_str());
+  if (!shard_file.empty() && (have_shard || emit_shards > 0)) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --shard-file conflicts with --shard and "
+                 "--emit-shards\n");
     return 2;
+  }
+  if (emit_shards > 0 && have_shard) {
+    std::fprintf(stderr, "ccd_sweep: --emit-shards conflicts with --shard\n");
+    return 2;
+  }
+  const bool worker_mode = have_shard || !shard_file.empty();
+  if (!worker_mode && (!checkpoint_path.empty() || resume)) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --checkpoint/--resume only apply to worker "
+                 "mode (--shard or --shard-file)\n");
+    return 2;
+  }
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "ccd_sweep: --resume needs --checkpoint PATH\n");
+    return 2;
+  }
+
+  if (shard_file.empty()) {
+    if (grid.seeds_per_cell == 0 || grid.num_cells() == 0) {
+      std::fprintf(stderr, "ccd_sweep: empty grid\n");
+      return 2;
+    }
+    if (auto problem = grid.validate()) {
+      std::fprintf(stderr, "ccd_sweep: %s\n", problem->c_str());
+      return 2;
+    }
+  }
+
+  if (emit_shards > 0) {
+    const std::vector<ShardSpec> shards =
+        ShardPlanner::plan(grid, emit_shards, shard_mode);
+    for (const ShardSpec& spec : shards) {
+      const std::string path = shard_out + "-" +
+                               std::to_string(spec.shard_index) + "-of-" +
+                               std::to_string(spec.shard_count) + ".json";
+      if (!write_file(path, spec.to_json() + "\n")) return 1;
+      if (!quiet) {
+        std::fprintf(stderr, "ccd_sweep: wrote %s (%zu cells)\n",
+                     path.c_str(), spec.cell_indices().size());
+      }
+    }
+    return 0;
+  }
+
+  if (worker_mode) {
+    ShardSpec spec;
+    if (!shard_file.empty()) {
+      std::string text;
+      if (!read_file(shard_file, text)) {
+        std::fprintf(stderr, "ccd_sweep: cannot read %s\n",
+                     shard_file.c_str());
+        return 2;
+      }
+      std::string error;
+      auto parsed = ShardSpec::from_json(text, &error);
+      if (!parsed) {
+        std::fprintf(stderr, "ccd_sweep: %s: %s\n", shard_file.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      spec = std::move(*parsed);
+      if (auto problem = spec.grid.validate()) {
+        std::fprintf(stderr, "ccd_sweep: %s: %s\n", shard_file.c_str(),
+                     problem->c_str());
+        return 2;
+      }
+    } else {
+      spec = ShardPlanner::plan(grid, shard_count, shard_mode)[shard_index];
+    }
+    if (json_path.empty()) {
+      std::fprintf(stderr,
+                   "ccd_sweep: worker mode emits a partial shard report; "
+                   "--json PATH is required\n");
+      return 2;
+    }
+    if (!csv_path.empty()) {
+      std::fprintf(stderr,
+                   "ccd_sweep: --csv is a full-grid output; merge the shard "
+                   "reports with ccd_merge --csv instead\n");
+      return 2;
+    }
+    ShardRunOptions shard_options;
+    shard_options.sweep.threads = threads;
+    shard_options.checkpoint_path = checkpoint_path;
+    shard_options.resume = resume;
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "ccd_sweep: shard %zu/%zu (%s): %zu of %zu cells x %u "
+                   "seeds\n",
+                   spec.shard_index, spec.shard_count, to_string(spec.mode),
+                   spec.cell_indices().size(), spec.grid.num_cells(),
+                   spec.grid.seeds_per_cell);
+    }
+    std::string error;
+    auto report = run_shard(spec, shard_options, &error);
+    if (!report) {
+      std::fprintf(stderr, "ccd_sweep: %s\n", error.c_str());
+      return 2;
+    }
+    if (!write_file(json_path, report->to_json())) return 1;
+    if (!quiet) {
+      std::fprintf(stderr, "ccd_sweep: wrote shard report %s (%zu cells)\n",
+                   json_path.c_str(), report->cells.size());
+    }
+    return 0;
   }
 
   SweepOptions options;
