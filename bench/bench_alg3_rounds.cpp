@@ -5,60 +5,73 @@
 // (the min-value process leads everyone to a leaf and dies) costs one
 // extra full climb but stays within the post-failure budget; the folded
 // recurse-round ablation gives the 6*lg|V| variant the paper mentions.
+//
+// Ported onto the exp/ orchestration engine: the failure-free |V| x n
+// product and the worst-case scheduled crash are SweepGrids (alg3 +
+// zero-ac + nocm + unrestricted loss, i.e. exactly the no-ECF stack the
+// hand-rolled version assembled); the folded-recursion ablation stays
+// direct because the fold is an algorithm-variant knob below the spec
+// surface, like the CM lock-in probe of bench_backoff_cm.
 #include <iostream>
 
 #include "cd/oracle_detector.hpp"
 #include "cm/no_cm.hpp"
 #include "consensus/alg3_zero_ac_nocf.hpp"
 #include "consensus/harness.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
 #include "fault/failure_adversary.hpp"
 #include "net/unrestricted_loss.hpp"
 #include "util/bitcodec.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/value_bst.hpp"
 
 namespace ccd {
 namespace {
 
-World alg3_world(const Alg3Algorithm& alg, std::vector<Value> initials,
-                 std::unique_ptr<FailureAdversary> fault,
-                 std::uint64_t seed) {
-  return make_world(
-      alg, std::move(initials), std::make_unique<NoCm>(),
-      std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
-                                       make_truthful_policy()),
-      std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
-          UnrestrictedLoss::Mode::kDropOthers, 0.0, seed}),
-      std::move(fault));
+using namespace ccd::exp;
+
+SweepGrid alg3_grid() {
+  SweepGrid grid;
+  grid.base.alg = AlgKind::kAlg3;
+  grid.base.detector = DetectorKind::kZeroAC;
+  grid.base.policy = PolicyKind::kTruthful;
+  grid.base.cm = CmKind::kNoCm;
+  grid.base.loss = LossKind::kUnrestricted;  // NoCF: worst-case channel
+  grid.grid_seed = 5;
+  return grid;
+}
+
+std::vector<CellAggregate> run(const SweepGrid& grid) {
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  return aggregate(grid, run_sweep(grid, options));
 }
 
 void failure_free_sweep() {
   std::cout << "--- failure-free: decision round vs 8*lg|V| ---\n";
   AsciiTable table({"|V|", "lg|V|", "n", "rounds max", "rounds mean",
                     "bound 8lg|V|", "ok"});
+  SweepGrid grid = alg3_grid();
+  grid.value_spaces = {2, 16, 256, 4096, 1ull << 16, 1ull << 20};
+  grid.ns = {3, 12};
+  grid.seeds_per_cell = 12;
   bool all_ok = true;
-  for (std::uint64_t num_values :
-       {2ull, 16ull, 256ull, 4096ull, 1ull << 16, 1ull << 20}) {
-    Alg3Algorithm alg(num_values);
-    const Round bound = 8 * std::max<std::uint32_t>(1, ceil_log2(num_values));
-    for (std::size_t n : {3, 12}) {
-      Stats rounds;
-      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-        World world = alg3_world(
-            alg, random_initial_values(n, num_values, seed),
-            std::make_unique<NoFailures>(), seed);
-        const RunSummary s = run_consensus(std::move(world), 4 * bound + 40);
-        if (s.verdict.solved()) {
-          rounds.add(static_cast<double>(s.verdict.last_decision_round));
-        }
-      }
-      const bool ok = !rounds.empty() && rounds.max() <= bound + 4;
-      all_ok = all_ok && ok;
-      table.add(num_values, ceil_log2(num_values), n,
-                static_cast<std::uint64_t>(rounds.max()), rounds.mean(),
-                bound, ok);
-    }
+  for (const CellAggregate& cell : run(grid)) {
+    const Round bound =
+        8 * std::max<std::uint32_t>(1, ceil_log2(cell.spec.num_values));
+    const bool ok = cell.solved == cell.runs &&
+                    !cell.decision_round.empty() &&
+                    cell.decision_round.max() <= bound + 4;
+    all_ok = all_ok && ok;
+    table.add(cell.spec.num_values, ceil_log2(cell.spec.num_values),
+              cell.spec.n,
+              static_cast<std::uint64_t>(
+                  cell.decision_round.empty() ? 0
+                                              : cell.decision_round.max()),
+              cell.decision_round.empty() ? 0.0 : cell.decision_round.mean(),
+              bound, ok);
   }
   table.print(std::cout);
   std::cout << (all_ok ? "bound holds\n" : "BOUND VIOLATED\n");
@@ -70,25 +83,29 @@ void worst_case_crash() {
   AsciiTable table({"|V|", "crash round", "decide round",
                     "rounds after crash", "budget 8lg|V|", "ok"});
   for (std::uint64_t num_values : {256ull, 4096ull, 1ull << 16}) {
-    Alg3Algorithm alg(num_values);
     const std::uint32_t depth = ValueBstCursor(num_values).tree_height();
     const Round crash_round = 4 * depth;
     const Round budget = 8 * ceil_log2(num_values);
-    std::vector<Value> initials = {0, num_values - 3, num_values - 2,
-                                   num_values - 1};
-    World world = alg3_world(
-        alg, initials,
-        std::make_unique<ScheduledCrash>(std::vector<CrashEvent>{
-            {crash_round, 0, CrashPoint::kBeforeSend}}),
-        1);
-    const RunSummary s =
-        run_consensus(std::move(world), crash_round + budget + 60);
-    const Round after =
-        s.verdict.last_decision_round > crash_round
-            ? s.verdict.last_decision_round - crash_round
-            : 0;
-    table.add(num_values, crash_round, s.verdict.last_decision_round, after,
-              budget, s.verdict.solved() && after <= budget);
+
+    // One-cell grid, n = 2 so the split init {0, |V|-1} gives process 0 a
+    // UNIQUE minimum: it leads the other to value 0's leaf, the explicit
+    // schedule kills it there, and the survivor must reclimb the whole
+    // tree (the Theorem 3 worst-case shape).
+    SweepGrid grid = alg3_grid();
+    grid.base.n = 2;
+    grid.base.num_values = num_values;
+    grid.base.init = InitKind::kSplit;
+    grid.base.fault = FaultKind::kScheduled;
+    grid.base.crash_schedule = {{crash_round, 0, CrashPoint::kBeforeSend}};
+    grid.base.max_rounds = crash_round + budget + 60;
+    grid.seeds_per_cell = 1;
+    const CellAggregate cell = run(grid).at(0);
+
+    const Round decide = static_cast<Round>(
+        cell.decision_round.empty() ? 0 : cell.decision_round.max());
+    const Round after = decide > crash_round ? decide - crash_round : 0;
+    table.add(num_values, crash_round, decide, after, budget,
+              cell.solved == cell.runs && after <= budget);
   }
   table.print(std::cout);
 }
@@ -97,12 +114,22 @@ void folded_ablation() {
   std::cout << "\n--- ablation: dedicated recurse round (8lg|V|) vs folded "
                "(6lg|V|) ---\n";
   AsciiTable table({"|V|", "plain rounds", "folded rounds", "ratio"});
+  auto alg3_world = [](const Alg3Algorithm& alg, std::vector<Value> initials,
+                       std::uint64_t seed) {
+    return make_world(
+        alg, std::move(initials), std::make_unique<NoCm>(),
+        std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                         make_truthful_policy()),
+        std::make_unique<UnrestrictedLoss>(UnrestrictedLoss::Options{
+            UnrestrictedLoss::Mode::kDropOthers, 0.0, seed}),
+        std::make_unique<NoFailures>());
+  };
   for (std::uint64_t num_values : {64ull, 1024ull, 1ull << 16}) {
     Alg3Algorithm plain(num_values, false);
     Alg3Algorithm folded(num_values, true);
     std::vector<Value> initials = {num_values - 1, num_values - 2};
-    World wp = alg3_world(plain, initials, std::make_unique<NoFailures>(), 2);
-    World wf = alg3_world(folded, initials, std::make_unique<NoFailures>(), 2);
+    World wp = alg3_world(plain, initials, 2);
+    World wf = alg3_world(folded, initials, 2);
     const RunSummary sp = run_consensus(std::move(wp), 5000);
     const RunSummary sf = run_consensus(std::move(wf), 5000);
     table.add(num_values, sp.verdict.last_decision_round,

@@ -5,43 +5,55 @@
 // ID space and beats direct Algorithm 2; with |I| >= |V| it IS Algorithm 2.
 // The crossover sits where lg|I| = lg|V|.  Identifiers do not help beyond
 // that (Corollary 3 and the paper's closing observation).
+//
+// Ported onto the exp/ orchestration engine: each leg is a SweepGrid over
+// the spec's id_space knob (|I|), executed across all cores and reduced by
+// the Aggregator -- the chaotic pre-CST environment replaces the
+// hand-rolled adversarial ECF wiring the direct version used.
 #include <iostream>
+#include <string>
 
-#include "cd/oracle_detector.hpp"
-#include "cm/wakeup_service.hpp"
-#include "consensus/alg2_zero_oac.hpp"
-#include "consensus/alg4_non_anonymous.hpp"
-#include "consensus/harness.hpp"
-#include "fault/failure_adversary.hpp"
-#include "net/ecf_adversary.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
 #include "util/bitcodec.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace ccd {
 namespace {
 
-Round measure(const ConsensusAlgorithm& alg, std::uint64_t num_values,
-              std::size_t n, std::uint64_t seed) {
-  const Round cst = 1;
-  WakeupService::Options ws;
-  ws.r_wake = cst;
-  EcfAdversary::Options ecf;
-  ecf.r_cf = cst;
-  ecf.contention = EcfAdversary::ContentionMode::kCapture;
-  ecf.seed = seed;
-  World world = make_world(
-      alg, random_initial_values(n, num_values, seed),
-      std::make_unique<WakeupService>(ws),
-      std::make_unique<OracleDetector>(DetectorSpec::ZeroOAC(cst),
-                                       make_truthful_policy()),
-      std::make_unique<EcfAdversary>(ecf), std::make_unique<NoFailures>());
-  const RunSummary s = run_consensus(std::move(world), 5000);
-  return s.verdict.solved() ? s.verdict.last_decision_round : kNeverRound;
+using namespace ccd::exp;
+
+SweepGrid base_grid() {
+  SweepGrid grid;
+  grid.base.alg = AlgKind::kAlg4;
+  grid.base.detector = DetectorKind::kZeroOAC;
+  grid.base.policy = PolicyKind::kTruthful;
+  grid.base.cm = CmKind::kWakeup;
+  grid.base.loss = LossKind::kEcf;
+  grid.base.chaos = ChaosKind::kChaotic;
+  grid.base.n = 8;
+  grid.base.cst_target = 1;
+  grid.seeds_per_cell = 8;
+  grid.grid_seed = 2025;
+  return grid;
+}
+
+std::vector<CellAggregate> run(const SweepGrid& grid) {
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  return aggregate(grid, run_sweep(grid, options));
+}
+
+double mean_rounds(const CellAggregate& cell) {
+  // A cell with zero solved runs poisons the mean with kNeverRound (the
+  // legacy direct bench's convention): failures print as visibly huge
+  // numbers instead of dividing the ratio columns by zero.
+  return cell.decision_round.empty() ? static_cast<double>(kNeverRound)
+                                     : cell.decision_round.mean();
 }
 
 void sweep() {
-  const std::size_t n = 8;
   const std::uint64_t big_v = 1ull << 30;
 
   std::cout << "--- fixed |V| = 2^30, varying |I| (leader election pays "
@@ -50,45 +62,49 @@ void sweep() {
                  "lg-ratio vs |I|=16"});
   double base = 0;
   for (std::uint64_t id_space : {16ull, 256ull, 4096ull, 1ull << 16}) {
-    Alg4Algorithm alg(big_v, id_space);
-    Stats rounds;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      const Round r = measure(alg, big_v, n, seed);
-      if (r != kNeverRound) rounds.add(static_cast<double>(r));
-    }
-    if (base == 0) base = rounds.mean();
+    SweepGrid grid = base_grid();
+    grid.base.num_values = big_v;
+    grid.base.id_space = id_space;
+    const auto cells = run(grid);
+    const double rounds = mean_rounds(cells.at(0));
+    if (base == 0) base = rounds;
     t1.add(id_space, ceil_log2(id_space),
-           id_space < big_v ? "leader" : "direct", rounds.mean(),
-           rounds.mean() / base);
+           id_space < big_v ? "leader" : "direct", rounds, rounds / base);
   }
   t1.print(std::cout);
 
   std::cout << "\n--- head-to-head on |V| = 2^30: non-anonymous (|I|=16) vs "
                "anonymous Algorithm 2 ---\n";
   AsciiTable t2({"protocol", "uses", "rounds (mean)", "speedup"});
-  Alg4Algorithm alg4(big_v, 16);
-  Alg2Algorithm alg2(big_v);
-  Stats r4, r2;
-  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    r4.add(static_cast<double>(measure(alg4, big_v, n, seed)));
-    r2.add(static_cast<double>(measure(alg2, big_v, n, seed)));
+  {
+    SweepGrid grid = base_grid();
+    grid.base.num_values = big_v;
+    grid.base.id_space = 16;
+    grid.algs = {AlgKind::kAlg4, AlgKind::kAlg2};  // id_space inert for alg2
+    const auto cells = run(grid);
+    const double r4 = mean_rounds(cells.at(0));
+    const double r2 = mean_rounds(cells.at(1));
+    t2.add("Alg4 leader mode", "lg|I| = 4", r4, r2 / r4);
+    t2.add("Alg2 (anonymous)", "lg|V| = 30", r2, 1.0);
   }
-  t2.add("Alg4 leader mode", "lg|I| = 4", r4.mean(), r2.mean() / r4.mean());
-  t2.add("Alg2 (anonymous)", "lg|V| = 30", r2.mean(), 1.0);
   t2.print(std::cout);
 
   std::cout << "\n--- fixed |I| = 2^20 (IDs plentiful): rounds track lg|V|, "
                "identifiers buy nothing ---\n";
   AsciiTable t3({"|V|", "lg|V|", "Alg4 rounds", "Alg2 rounds"});
-  for (std::uint64_t num_values : {16ull, 256ull, 4096ull, 1ull << 16}) {
-    Alg4Algorithm a4(num_values, 1ull << 20);
-    Alg2Algorithm a2(num_values);
-    Stats s4, s2;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      s4.add(static_cast<double>(measure(a4, num_values, n, seed)));
-      s2.add(static_cast<double>(measure(a2, num_values, n, seed)));
+  {
+    SweepGrid grid = base_grid();
+    grid.base.id_space = 1ull << 20;
+    grid.algs = {AlgKind::kAlg4, AlgKind::kAlg2};
+    grid.value_spaces = {16, 256, 4096, 1ull << 16};
+    const auto cells = run(grid);
+    // Cell order: value_spaces is an inner axis, algs outer.
+    for (std::size_t v = 0; v < grid.value_spaces.size(); ++v) {
+      const CellAggregate& c4 = cells.at(v);
+      const CellAggregate& c2 = cells.at(grid.value_spaces.size() + v);
+      t3.add(c4.spec.num_values, ceil_log2(c4.spec.num_values),
+             mean_rounds(c4), mean_rounds(c2));
     }
-    t3.add(num_values, ceil_log2(num_values), s4.mean(), s2.mean());
   }
   t3.print(std::cout);
   std::cout << "\nRESULT: rounds scale with min{lg|V|, lg|I|}; unique "

@@ -8,14 +8,39 @@
 // within the analytic bound, and the round abstraction (all devices agree
 // on the round number outside guard windows) holds whenever the round
 // length dominates the skew.
+//
+// Ported onto the exp/ orchestration engine: each (rho, loss, L) point is
+// a one-cell SweepGrid over the round-sync workload (sync_rho /
+// sync_round_length spec knobs; beacon loss = 1 - p_deliver), executed
+// across all cores and reduced by the Aggregator's sync statistics --
+// which also makes these points sweepable/shardable from ccd_sweep
+// (--workloads round-sync --sync-rho ...).
 #include <iostream>
 
-#include "sync/round_synchronizer.hpp"
-#include "util/stats.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
 #include "util/table.hpp"
 
 namespace ccd {
 namespace {
+
+using namespace ccd::exp;
+
+CellAggregate run_point(double rho, double beacon_loss, double round_length,
+                        std::uint32_t seeds) {
+  SweepGrid grid;
+  grid.base.workload = WorkloadKind::kRoundSync;
+  grid.base.n = 16;
+  grid.base.sync_rho = rho;
+  grid.base.p_deliver = 1.0 - beacon_loss;
+  grid.base.sync_round_length = round_length;
+  grid.seeds_per_cell = seeds;
+  grid.grid_seed = 13;
+  SweepOptions options;
+  options.threads = 0;  // all cores
+  return aggregate(grid, run_sweep(grid, options)).at(0);
+}
 
 void skew_scaling() {
   std::cout << "--- measured skew vs drift rate and beacon loss (epoch = "
@@ -24,26 +49,10 @@ void skew_scaling() {
                     "bound (us)", "within", "round agreement"});
   for (double rho : {1e-5, 1e-4, 1e-3}) {
     for (double loss : {0.0, 0.3, 0.6}) {
-      Stats skew;
-      Stats bound;
-      double agreement = 1.0;
-      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-        RoundSynchronizer::Options o;
-        o.n = 16;
-        o.rho = rho;
-        o.epoch = 1.0;
-        o.jitter = 1e-5;
-        o.beacon_loss = loss;
-        o.round_length = 0.05;
-        o.horizon = 60.0;
-        o.seed = seed;
-        RoundSynchronizer sync(o);
-        skew.add(sync.measured_max_skew(500) * 1e6);
-        bound.add(sync.skew_bound() * 1e6);
-        agreement = std::min(agreement, sync.round_agreement_fraction(500));
-      }
-      table.add(rho, loss, skew.max(), bound.max(),
-                skew.max() <= bound.max(), agreement);
+      const CellAggregate cell = run_point(rho, loss, 0.05, 10);
+      table.add(rho, loss, cell.sync_skew_us.max(), cell.sync_bound_us.max(),
+                cell.sync_bound_violations == 0,
+                cell.sync_agreement.min());
     }
   }
   table.print(std::cout);
@@ -55,23 +64,10 @@ void round_length_tradeoff() {
   AsciiTable table({"round length (ms)", "skew bound (ms)",
                     "guarded agreement", "usable"});
   for (double L : {0.0005, 0.002, 0.01, 0.05, 0.25}) {
-    double agreement = 1.0;
-    double bound = 0;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-      RoundSynchronizer::Options o;
-      o.n = 16;
-      o.rho = 1e-4;
-      o.epoch = 1.0;
-      o.jitter = 1e-5;
-      o.beacon_loss = 0.3;
-      o.round_length = L;
-      o.horizon = 60.0;
-      o.seed = seed;
-      RoundSynchronizer sync(o);
-      agreement = std::min(agreement, sync.round_agreement_fraction(500));
-      bound = std::max(bound, sync.skew_bound());
-    }
-    table.add(L * 1e3, bound * 1e3, agreement, L > 2 * bound);
+    const CellAggregate cell = run_point(1e-4, 0.3, L, 6);
+    const double bound = cell.sync_bound_us.max() * 1e-6;  // back to seconds
+    table.add(L * 1e3, bound * 1e3, cell.sync_agreement.min(),
+              L > 2 * bound);
   }
   table.print(std::cout);
   std::cout << "\nRESULT: rounds an order of magnitude longer than the "

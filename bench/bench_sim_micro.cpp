@@ -1,7 +1,11 @@
 // E12 -- simulator micro-performance (google-benchmark): round throughput
-// of the executor, detector advice cost, and loss-adversary cost.  Not a
-// paper experiment; establishes that the sweeps in E2..E11 measure
-// algorithm behaviour, not harness overhead.
+// of the unified RoundEngine (through both the single-hop Executor adapter
+// and the multihop capture/local configurations), detector advice cost,
+// and loss-adversary cost.  Not a paper experiment; establishes that the
+// sweeps in E2..E11 measure algorithm behaviour, not harness overhead --
+// and that the engine's hot loop stays allocation-free in steady state
+// (the BM_EngineRound* numbers are the before/after gate for engine
+// refactors; CI prints them so regressions show up in logs).
 #include <benchmark/benchmark.h>
 
 #include "cd/oracle_detector.hpp"
@@ -9,7 +13,10 @@
 #include "consensus/alg1_maj_oac.hpp"
 #include "consensus/alg2_zero_oac.hpp"
 #include "consensus/harness.hpp"
+#include "engine/round_engine.hpp"
 #include "fault/failure_adversary.hpp"
+#include "multihop/flood.hpp"
+#include "multihop/mis.hpp"
 #include "net/ecf_adversary.hpp"
 #include "sim/executor.hpp"
 
@@ -60,6 +67,72 @@ void BM_ExecutorRoundWithViews(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ExecutorRoundWithViews)->Arg(16)->Arg(64);
+
+// The engine's capture-channel / local-scope configuration (the legacy
+// multihop semantics): MIS processes on a grid topology, no logging --
+// the allocation-free steady state the sweeps run in.
+void BM_EngineRoundCaptureGrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  EngineWorld ew;
+  for (std::size_t i = 0; i < n; ++i) {
+    MisProcess::Options o;
+    o.seed = 1000 + i;
+    ew.world.processes.push_back(std::make_unique<MisProcess>(o));
+  }
+  ew.world.cd = std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                                 make_truthful_policy());
+  ew.topology = Topology::grid_n(n);
+  ew.channel = ChannelModel::kCapture;
+  ew.scope = CollisionScope::kLocal;
+  ew.link = {0.9, 0.3};
+  ew.link_seed = 7;
+  EngineOptions options;
+  options.record_views = false;
+  options.record_rounds = false;
+  options.stop_when_all_decided = false;
+  RoundEngine engine(std::move(ew), options);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRoundCaptureGrid)->Arg(16)->Arg(64)->Arg(256);
+
+// The unification's new composition: a full consensus stack (loss
+// adversary, wakeup CM, detector envelope) over a NON-clique topology with
+// per-neighborhood collision semantics.
+void BM_EngineRoundMatrixLocal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Alg2Algorithm alg(1 << 16);
+  WakeupService::Options ws;
+  ws.r_wake = 1u << 30;
+  ws.pre = WakeupService::PreStabilization::kAllActive;
+  EcfAdversary::Options ecf;
+  ecf.r_cf = 1u << 30;
+  ecf.pre = EcfAdversary::PreMode::kRandom;
+  ecf.p_deliver = 0.5;
+  EngineWorld ew;
+  ew.world = make_world(alg, random_initial_values(n, 1 << 16, 7),
+                        std::make_unique<WakeupService>(ws),
+                        std::make_unique<OracleDetector>(
+                            DetectorSpec::ZeroOAC(1u << 30),
+                            make_truthful_policy()),
+                        std::make_unique<EcfAdversary>(ecf),
+                        std::make_unique<NoFailures>());
+  ew.topology = Topology::grid_n(n);
+  ew.channel = ChannelModel::kMatrix;
+  ew.scope = CollisionScope::kLocal;
+  EngineOptions options;
+  options.record_views = false;
+  options.record_rounds = false;
+  options.stop_when_all_decided = false;
+  RoundEngine engine(std::move(ew), options);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRoundMatrixLocal)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_DetectorAdvice(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

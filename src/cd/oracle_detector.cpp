@@ -10,26 +10,33 @@ OracleDetector::OracleDetector(DetectorSpec spec,
   assert(policy_ != nullptr);
 }
 
+CdAdvice OracleDetector::advise_local(Round round, ProcessId i,
+                                      std::uint32_t c, std::uint32_t t) {
+  const bool pm_forced = spec_.collision_forced(c, t);
+  const bool null_forced = spec_.null_forced(round, c, t);
+  // The two forced sets are disjoint: completeness only forces when t < c
+  // (or NoCD, which has no accuracy), accuracy only when t == c.
+  assert(!(pm_forced && null_forced));
+  CdAdvice advice;
+  if (pm_forced) {
+    advice = CdAdvice::kCollision;
+  } else if (null_forced) {
+    advice = CdAdvice::kNull;
+  } else {
+    advice = policy_->choose(round, i, c, t);
+  }
+  assert(spec_.advice_legal(round, c, t, advice));
+  return advice;
+}
+
 void OracleDetector::advise(Round round, std::uint32_t c,
                             const std::vector<std::uint32_t>& t,
                             std::vector<CdAdvice>& out) {
+  // One envelope resolution for both scopes: the global oracle is the
+  // per-process resolution applied with the same c everywhere.
   out.resize(t.size());
   for (std::size_t i = 0; i < t.size(); ++i) {
-    const bool pm_forced = spec_.collision_forced(c, t[i]);
-    const bool null_forced = spec_.null_forced(round, c, t[i]);
-    // The two forced sets are disjoint: completeness only forces when t < c
-    // (or NoCD, which has no accuracy), accuracy only when t == c.
-    assert(!(pm_forced && null_forced));
-    CdAdvice advice;
-    if (pm_forced) {
-      advice = CdAdvice::kCollision;
-    } else if (null_forced) {
-      advice = CdAdvice::kNull;
-    } else {
-      advice = policy_->choose(round, static_cast<ProcessId>(i), c, t[i]);
-    }
-    assert(spec_.advice_legal(round, c, t[i], advice));
-    out[i] = advice;
+    out[i] = advise_local(round, static_cast<ProcessId>(i), c, t[i]);
   }
 }
 

@@ -29,6 +29,14 @@ class OracleDetector {
   void advise(Round round, std::uint32_t c, const std::vector<std::uint32_t>& t,
               std::vector<CdAdvice>& out);
 
+  /// Advice for ONE process from its local neighborhood counts: the same
+  /// forced-report/free-choice resolution as advise(), evaluated on
+  /// (c_i, t_i).  This is how the RoundEngine's per-neighborhood scope
+  /// (CollisionScope::kLocal) consults the detector -- the class envelope
+  /// is identical, only the scope of c changes.
+  CdAdvice advise_local(Round round, ProcessId i, std::uint32_t c,
+                        std::uint32_t t);
+
   const DetectorSpec& spec() const { return spec_; }
   const AdvicePolicy& policy() const { return *policy_; }
 

@@ -58,7 +58,7 @@ World make_world(const ConsensusAlgorithm& algorithm,
 }
 
 RunSummary run_consensus(World world, Round max_rounds,
-                         ExecutorOptions options) {
+                         ExecutorOptions options, ExecutionLog* log_out) {
   RunSummary summary;
   // Degenerate worlds (n = 0, missing components, everyone crashed in the
   // opening round) are legal inputs: the Executor substitutes neutral
@@ -76,6 +76,7 @@ RunSummary run_consensus(World world, Round max_rounds,
     summary.rounds_after_cst = summary.verdict.last_decision_round -
                                summary.cst;
   }
+  if (log_out) *log_out = executor.log();
   return summary;
 }
 

@@ -49,8 +49,11 @@ struct RunSummary {
   Round rounds_after_cst = 0;
 };
 
-/// Run to completion (or max_rounds) and verify.
+/// Run to completion (or max_rounds) and verify.  `log_out`, when non-null,
+/// receives a copy of the full ExecutionLog (the --rerun-cell trace-capture
+/// path); sweeps leave it null.
 RunSummary run_consensus(World world, Round max_rounds,
-                         ExecutorOptions options = {});
+                         ExecutorOptions options = {},
+                         ExecutionLog* log_out = nullptr);
 
 }  // namespace ccd

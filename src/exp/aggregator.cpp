@@ -110,7 +110,8 @@ void accumulate_run(CellAggregate& cell, const RunRecord& r) {
           r.spec.n > 0 ? static_cast<double>(r.mh.covered) /
                              static_cast<double>(r.spec.n)
                        : 0.0);
-    } else {
+    } else if (r.spec.workload == WorkloadKind::kMis ||
+               r.spec.workload == WorkloadKind::kMisThenConsensus) {
       if (!r.mh.mis_independent || !r.mh.mis_maximal) ++cell.mis_violations;
       cell.mis_size.add(static_cast<double>(r.mh.mis_size));
       if (r.mh.mis_settle_round != kNeverRound) {
@@ -118,6 +119,17 @@ void accumulate_run(CellAggregate& cell, const RunRecord& r) {
             static_cast<double>(r.mh.mis_settle_round));
       }
     }
+    // Consensus-over-a-topology runs carry only the shared metrics above
+    // (connectivity, diameter, message cost, crash accounting); their
+    // verdicts are in the consensus group.
+  }
+
+  if (r.sync.ran) {
+    ++cell.sync_runs;
+    if (!r.sync.within_bound) ++cell.sync_bound_violations;
+    cell.sync_skew_us.add(r.sync.max_skew * 1e6);
+    cell.sync_bound_us.add(r.sync.skew_bound * 1e6);
+    cell.sync_agreement.add(r.sync.round_agreement);
   }
 }
 
@@ -144,6 +156,11 @@ void merge_cell_aggregate(CellAggregate& dst, const CellAggregate& src) {
   dst.mis_settle_round.merge_from(src.mis_settle_round);
   dst.messages_per_node.merge_from(src.messages_per_node);
   dst.diameter.merge_from(src.diameter);
+  dst.sync_runs += src.sync_runs;
+  dst.sync_bound_violations += src.sync_bound_violations;
+  dst.sync_skew_us.merge_from(src.sync_skew_us);
+  dst.sync_bound_us.merge_from(src.sync_bound_us);
+  dst.sync_agreement.merge_from(src.sync_agreement);
 }
 
 std::vector<CellAggregate> aggregate(const SweepGrid& grid,
@@ -206,6 +223,18 @@ std::string aggregates_to_json(const SweepGrid& grid,
       append_stats_json(out, "messages_per_node", cell.messages_per_node);
       out += ",";
       append_stats_json(out, "diameter", cell.diameter);
+      out += "}";
+    }
+    if (cell.sync_runs > 0) {
+      out += ",\"sync\":{\"runs\":" + std::to_string(cell.sync_runs);
+      out += ",\"bound_violations\":" +
+             std::to_string(cell.sync_bound_violations);
+      out += ",";
+      append_stats_json(out, "skew_us", cell.sync_skew_us);
+      out += ",";
+      append_stats_json(out, "bound_us", cell.sync_bound_us);
+      out += ",";
+      append_stats_json(out, "agreement", cell.sync_agreement);
       out += "}";
     }
     out += "}";
@@ -298,8 +327,11 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
   std::size_t mh_runs = 0, flood_runs = 0, full_coverage = 0,
               mis_violations = 0, disconnected = 0, crashes = 0,
               phase2_skipped = 0;
+  std::size_t sync_runs = 0, sync_violations = 0;
   for (const CellAggregate& cell : cells) {
     runs += cell.runs;
+    sync_runs += cell.sync_runs;
+    sync_violations += cell.sync_bound_violations;
     if (consensus_phase(cell)) {
       consensus_runs += cell.runs;
       solved += cell.solved;
@@ -335,6 +367,10 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
     if (crashes > 0) os << ", crashes applied " << crashes;
     if (phase2_skipped > 0) os << ", phase-2 skipped " << phase2_skipped;
     os << "\n";
+  }
+  if (sync_runs > 0) {
+    os << "round-sync: " << sync_runs << " runs, skew-bound violations "
+       << sync_violations << "\n";
   }
   os << "\n";
 
@@ -401,6 +437,25 @@ void print_summary(std::ostream& os, const SweepGrid& grid,
               : fmt(cell.surviving_fraction.mean()),
           cell.diameter.empty() ? std::string("-")
                                 : fmt(cell.diameter.mean()));
+    }
+    table.print(os);
+  }
+
+  if (sync_runs > 0) {
+    AsciiTable table({"cell", "n", "rho", "round-len(s)", "skew-max(us)",
+                      "bound(us)", "agreement", "violations"});
+    for (const CellAggregate& cell : cells) {
+      if (cell.sync_runs == 0) continue;
+      table.add(cell.cell_index, cell.spec.n, cell.spec.sync_rho,
+                fmt(cell.spec.sync_round_length),
+                cell.sync_skew_us.empty() ? std::string("-")
+                                          : fmt(cell.sync_skew_us.max()),
+                cell.sync_bound_us.empty() ? std::string("-")
+                                           : fmt(cell.sync_bound_us.max()),
+                cell.sync_agreement.empty()
+                    ? std::string("-")
+                    : fmt(cell.sync_agreement.min()),
+                cell.sync_bound_violations);
     }
     table.print(os);
   }

@@ -51,6 +51,16 @@ struct CellAggregate {
   Stats mis_settle_round;    ///< first all-settled round (when settled)
   Stats messages_per_node;   ///< broadcasts / n over the multihop phase
   Stats diameter;            ///< hop diameter, connected runs only
+
+  // Round-sync workload (the E13 substrate validation).  Rendered as a
+  // "sync" JSON block when present; the CSV column set is frozen (the
+  // byte-stability contract of the named grids), so sync metrics live in
+  // the JSON report only.
+  std::size_t sync_runs = 0;
+  std::size_t sync_bound_violations = 0;  ///< measured skew over the bound
+  Stats sync_skew_us;     ///< measured max pairwise skew (microseconds)
+  Stats sync_bound_us;    ///< analytic skew bound (microseconds)
+  Stats sync_agreement;   ///< guarded round-number agreement fraction
 };
 
 std::vector<CellAggregate> aggregate(const SweepGrid& grid,

@@ -129,6 +129,23 @@ std::optional<std::vector<CrashEvent>> parse_crash_schedule(
   return fail("crash_schedule array is malformed");
 }
 
+/// Shared shape of the topology-cut generators: every vertex in `victims`
+/// dies after its round-2 send (the same opener as source-dies -- the
+/// workload has just started spreading).
+std::vector<CrashEvent> kill_after_round2(
+    const std::vector<std::uint32_t>& victims) {
+  std::vector<CrashEvent> events;
+  events.reserve(victims.size());
+  for (std::uint32_t v : victims) {
+    CrashEvent e;
+    e.round = 2;
+    e.process = v;
+    e.point = CrashPoint::kAfterSend;
+    events.push_back(e);
+  }
+  return events;
+}
+
 }  // namespace
 
 const char* to_string(CrashPoint p) {
@@ -245,6 +262,7 @@ const char* to_string(WorkloadKind k) {
     case WorkloadKind::kFlood: return "flood";
     case WorkloadKind::kMis: return "mis";
     case WorkloadKind::kMisThenConsensus: return "mis-then-consensus";
+    case WorkloadKind::kRoundSync: return "round-sync";
   }
   return "?";
 }
@@ -300,7 +318,8 @@ std::optional<TopologyKind> parse_topology(const std::string& s) {
 
 std::optional<WorkloadKind> parse_workload(const std::string& s) {
   return parse_enum(s, {WorkloadKind::kConsensus, WorkloadKind::kFlood,
-                        WorkloadKind::kMis, WorkloadKind::kMisThenConsensus});
+                        WorkloadKind::kMis, WorkloadKind::kMisThenConsensus,
+                        WorkloadKind::kRoundSync});
 }
 
 std::string ScenarioSpec::to_json() const {
@@ -353,6 +372,19 @@ std::string ScenarioSpec::to_json() const {
   num("spurious_p", format_double(spurious_p));
   num("crash_p", format_double(crash_p));
   num("density", format_double(density));
+  // Later-PR knobs are omitted at their defaults so pre-existing specs
+  // (and their cell keys) keep their exact bytes -- the same contract as
+  // the crash-schedule members above.
+  if (id_space != 0) num("id_space", std::to_string(id_space));
+  {
+    const ScenarioSpec defaults;
+    if (sync_rho != defaults.sync_rho) {
+      num("sync_rho", format_double(sync_rho));
+    }
+    if (sync_round_length != defaults.sync_round_length) {
+      num("sync_round_length", format_double(sync_round_length));
+    }
+  }
   num("max_rounds", std::to_string(max_rounds));
   num("seed", std::to_string(seed));
   out.back() = '}';
@@ -465,6 +497,9 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& json,
   read_double("spurious_p", spec.spurious_p);
   read_double("crash_p", spec.crash_p);
   read_double("density", spec.density);
+  read_u64("id_space", spec.id_space);
+  read_double("sync_rho", spec.sync_rho);
+  read_double("sync_round_length", spec.sync_round_length);
   read_u64("max_rounds", spec.max_rounds);
   read_u64("seed", spec.seed);
 
@@ -479,7 +514,8 @@ std::string ScenarioSpec::cell_key() const {
 }
 
 std::vector<std::string> crash_schedule_names() {
-  return {"leaf-then-die", "source-dies", "articulation-point"};
+  return {"leaf-then-die", "source-dies", "articulation-point",
+          "all-cut-vertices", "min-vertex-cut"};
 }
 
 std::optional<std::vector<CrashEvent>> generate_crash_schedule(
@@ -549,6 +585,28 @@ std::optional<std::vector<CrashEvent>> generate_crash_schedule(
     e.point = CrashPoint::kAfterSend;
     events.push_back(e);
     return events;
+  }
+  if (name == "all-cut-vertices") {
+    // Multi-kill escalation of articulation-point: EVERY cut vertex dies
+    // after its round-2 send, shattering the graph into its biconnected
+    // leaves simultaneously (a line keeps only its two endpoints).  Like
+    // the single-cut generator this expands to the empty schedule on
+    // 2-connected shapes -- min-vertex-cut is the generator that reaches
+    // those.
+    if (spec.n < 3) return std::vector<CrashEvent>{};
+    const Topology topo = WorldFactory::make_topology(spec);
+    return kill_after_round2(topo.articulation_points());
+  }
+  if (name == "min-vertex-cut") {
+    // A minimum vertex cut of the materialized topology (size capped at 3),
+    // all killed after their round-2 sends.  On graphs with an articulation
+    // point this degenerates to the single worst cut vertex; on 2-connected
+    // graphs it is the size->=2 separator the articulation-point generator
+    // cannot find (a ring loses two nodes, a grid a small column).  Cliques
+    // have no vertex cut at all and stay failure-free.
+    if (spec.n < 3) return std::vector<CrashEvent>{};
+    const Topology topo = WorldFactory::make_topology(spec);
+    return kill_after_round2(topo.min_vertex_cut());
   }
   return std::nullopt;
 }

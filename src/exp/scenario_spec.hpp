@@ -159,6 +159,13 @@ enum class WorkloadKind : std::uint8_t {
   kMisThenConsensus, ///< The deployment story end to end: elect
                      ///< clusterheads on the topology, then run single-hop
                      ///< consensus among the heads.
+  kRoundSync,        ///< Substrate validation (E13): the reference-broadcast
+                     ///< round synchronizer that turns drifting clocks into
+                     ///< the synchronized rounds every other workload
+                     ///< presupposes (Section 1.3).  Below the round
+                     ///< abstraction, so it ignores topology/detector/cm
+                     ///< axes; knobs: n, p_deliver (beacon delivery),
+                     ///< sync_rho, sync_round_length.
 };
 
 const char* to_string(CrashPoint p);  ///< "before-send" / "after-send"
@@ -210,6 +217,18 @@ struct ScenarioSpec {
   /// graph is connected, and >= 2.0 (the documented floor) makes retries
   /// rare.  Ignored by every other topology.
   double density = 2.5;
+  /// Non-anonymous identifier-space size |I| for alg4 (Section 7.3 pays
+  /// CST + O(min{lg|V|, lg|I|})); 0 derives the legacy default
+  /// max(64, 2n).  Serialized only when nonzero, so pre-existing specs
+  /// (and their cell keys) keep their exact bytes.
+  std::uint64_t id_space = 0;
+  /// Round-sync workload knobs (workload == kRoundSync): max hardware
+  /// clock rate deviation rho and round length L in seconds.  Beacon loss
+  /// is 1 - p_deliver; epoch, jitter and horizon are fixed at the E13
+  /// bench constants (1s, 10us, 60s).  Serialized only at non-default
+  /// values (same byte-stability contract as id_space).
+  double sync_rho = 1e-4;
+  double sync_round_length = 0.05;
   Round max_rounds = 0;            ///< 0 = derive from algorithm + cst
   std::uint64_t seed = 1;          ///< run seed; all component RNG streams
                                    ///< derive from it
@@ -252,6 +271,16 @@ struct ScenarioSpec {
 ///       whose removal minimizes the largest surviving component; lowest id
 ///       on ties) after its round-2 send.  Expands to the empty schedule on
 ///       topologies without a cut vertex (ring, clique, dense rgg).
+///   "all-cut-vertices" -- the multi-kill escalation: kill EVERY
+///       articulation point after its round-2 send, shattering the graph
+///       into its biconnected leaves at once (a line loses all interior
+///       nodes).  Empty on 2-connected shapes, like articulation-point.
+///   "min-vertex-cut" -- a minimum vertex cut (size up to 3, so size > 1
+///       on 2-connected graphs: a ring loses two opposite-ish nodes, a
+///       grid a column pair), all killed after their round-2 sends.  This
+///       is the generator that stops 2-connected topologies from running
+///       failure-free under the single-cut generators.  Empty on cliques
+///       (no vertex cut at all).
 std::vector<std::string> crash_schedule_names();
 
 /// Expand a named generator against a spec's n / num_values; nullopt for

@@ -29,6 +29,8 @@ constexpr CounterField kCounters[] = {
     {"mis_violations", &CellAggregate::mis_violations},
     {"mh_crashes_applied", &CellAggregate::mh_crashes_applied},
     {"phase2_skipped", &CellAggregate::phase2_skipped},
+    {"sync_runs", &CellAggregate::sync_runs},
+    {"sync_bound_violations", &CellAggregate::sync_bound_violations},
 };
 
 struct StatsField {
@@ -46,6 +48,9 @@ constexpr StatsField kStats[] = {
     {"mis_settle_round", &CellAggregate::mis_settle_round},
     {"messages_per_node", &CellAggregate::messages_per_node},
     {"diameter", &CellAggregate::diameter},
+    {"sync_skew_us", &CellAggregate::sync_skew_us},
+    {"sync_bound_us", &CellAggregate::sync_bound_us},
+    {"sync_agreement", &CellAggregate::sync_agreement},
 };
 
 /// "12" or "3..17" (inclusive) range rendering for coverage errors.

@@ -71,23 +71,11 @@ ScenarioSpec SweepGrid::spec_for_run(std::size_t run_index) const {
 }
 
 std::optional<std::string> SweepGrid::validate() const {
-  const bool any_consensus =
-      workloads.empty()
-          ? base.workload == WorkloadKind::kConsensus
-          : std::find(workloads.begin(), workloads.end(),
-                      WorkloadKind::kConsensus) != workloads.end();
-  const bool any_multihop_topology =
-      topologies.empty()
-          ? base.topology != TopologyKind::kSingleHop
-          : std::any_of(topologies.begin(), topologies.end(),
-                        [](TopologyKind t) {
-                          return t != TopologyKind::kSingleHop;
-                        });
-  if (any_consensus && any_multihop_topology) {
-    return "consensus workload cells require topology=singlehop (the "
-           "single-hop World has no topology; use workload "
-           "mis-then-consensus for consensus over a multihop graph)";
-  }
+  // Consensus x non-singlehop topology was rejected here before the
+  // RoundEngine unification; it is now a first-class combination (the
+  // engine drives the same loss/cm/detector/fault stack over any graph
+  // with per-neighborhood collision semantics), so no topology constraint
+  // remains.
 
   // Scheduled-crash cells must have a schedule to run, and every named
   // generator -- swept or set on the base -- must exist.
@@ -196,6 +184,28 @@ std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
     grid.seeds_per_cell = 4;
     return grid;
   }
+  if (name == "mhloss") {
+    // The unification's acceptance grid: the paper's CONSENSUS stack --
+    // loss adversaries (including loss != none), contention managers and
+    // detector envelopes -- composed with non-clique topologies through
+    // the one RoundEngine path.  Per-neighborhood collision detection over
+    // sparse graphs starves the anonymous protocols of global information,
+    // so failure rows here are data (how far does single-hop consensus
+    // degrade beyond one hop?), not errors.
+    grid.topologies = {TopologyKind::kLine, TopologyKind::kRing,
+                       TopologyKind::kGrid, TopologyKind::kRandomGeometric};
+    grid.losses = {LossKind::kEcf, LossKind::kProbabilistic,
+                   LossKind::kUnrestricted};
+    grid.cms = {CmKind::kNoCm, CmKind::kWakeup};
+    grid.ns = {8, 16};
+    grid.base.alg = AlgKind::kAlg2;
+    grid.base.detector = DetectorKind::kZeroAC;
+    grid.base.num_values = 16;
+    grid.base.cst_target = 5;
+    grid.base.p_deliver = 0.6;
+    grid.seeds_per_cell = 2;
+    return grid;
+  }
   if (name == "multihop") {
     // The conclusion's extension as a grid: every multihop workload over
     // every topology shape, friendly and capture-effect link physics, and
@@ -227,7 +237,7 @@ std::optional<SweepGrid> SweepGrid::named(const std::string& name) {
 }
 
 std::vector<std::string> SweepGrid::grid_names() {
-  return {"smoke", "default", "policies", "crash", "multihop"};
+  return {"smoke", "default", "policies", "crash", "multihop", "mhloss"};
 }
 
 namespace {

@@ -61,18 +61,18 @@ struct SweepGrid {
   std::uint64_t seed_for_run(std::size_t run_index) const;
 
   /// Structural sanity: nullopt if the grid is well-formed, else a
-  /// human-readable reason.  Catches the silent-footgun combinations:
-  /// a consensus-workload cell on a non-singlehop topology (the single-hop
-  /// World has no topology, so the axis would be ignored while reports
-  /// still label rows with it), a `scheduled` fault cell with no schedule
-  /// to run, and unknown crash-schedule generator names.
+  /// human-readable reason.  Catches the silent footguns: a `scheduled`
+  /// fault cell with no schedule to run, and unknown crash-schedule
+  /// generator names.  (Consensus x non-singlehop topology, rejected here
+  /// before the RoundEngine unification, is now a first-class cell.)
   std::optional<std::string> validate() const;
 
   /// Built-in grids: "smoke" (fast sanity), "default" (the broad
   /// alg x detector x cm x loss robustness product, 150 cells),
   /// "policies" (detector-behaviour ablation), "crash" (failure sweep),
   /// "multihop" (workload x topology x density x loss x n over the
-  /// multihop executor).
+  /// capture-channel engine), "mhloss" (consensus with loss/cm axes over
+  /// non-clique topologies -- the unified-engine composition).
   static std::optional<SweepGrid> named(const std::string& name);
   static std::vector<std::string> grid_names();
 

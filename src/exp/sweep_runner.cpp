@@ -12,16 +12,13 @@ RunRecord run_one(const SweepGrid& grid, std::size_t run_index,
   record.run_index = run_index;
   record.cell_index = grid.cell_of_run(run_index);
   record.spec = grid.spec_for_run(run_index);
-  if (record.spec.workload == WorkloadKind::kConsensus) {
-    ExecutorOptions options;
-    options.record_views = record_views;
-    record.summary = run_consensus(WorldFactory::make(record.spec),
-                                   WorldFactory::max_rounds(record.spec),
-                                   options);
-  } else {
-    record.mh = WorldFactory::run_multihop(record.spec);
-    if (record.mh.consensus) record.summary = *record.mh.consensus;
-  }
+  RunScenarioOptions options;
+  options.record_views = record_views;
+  ScenarioOutcome outcome =
+      WorldFactory::run_scenario(record.spec, options);
+  record.summary = std::move(outcome.summary);
+  record.mh = std::move(outcome.mh);
+  record.sync = outcome.sync;
   return record;
 }
 

@@ -28,8 +28,11 @@ struct RunRecord {
   /// Consensus verdict.  Populated for consensus workloads and for the
   /// phase-2 consensus of mis-then-consensus; default otherwise.
   RunSummary summary;
-  /// Multihop metrics; mh.ran is false for consensus workloads.
+  /// Multihop metrics; mh.ran is false for single-hop consensus and
+  /// round-sync workloads.
   MultihopSummary mh;
+  /// Round-sync metrics; sync.ran is false for every other workload.
+  SyncSummary sync;
 };
 
 struct SweepOptions {

@@ -20,6 +20,7 @@
 #include "net/no_loss.hpp"
 #include "net/probabilistic_loss.hpp"
 #include "net/unrestricted_loss.hpp"
+#include "sync/round_synchronizer.hpp"
 #include "util/bitcodec.hpp"
 #include "util/rng.hpp"
 
@@ -38,6 +39,7 @@ constexpr std::uint64_t kTopoSalt = 0x746f706f5f73ULL;      // "topo_s"
 constexpr std::uint64_t kMhProcSalt = 0x6d685f70726fULL;    // "mh_pro"
 constexpr std::uint64_t kMhLinkSalt = 0x6d685f6c6e6bULL;    // "mh_lnk"
 constexpr std::uint64_t kPhase2Salt = 0x7068617365325fULL;  // "phase2_"
+constexpr std::uint64_t kSyncSalt = 0x73796e635f73ULL;      // "sync_s"
 
 std::uint64_t sub_seed(const ScenarioSpec& spec, std::uint64_t salt) {
   return hash_mix(spec.seed ^ salt);
@@ -92,9 +94,13 @@ std::unique_ptr<ConsensusAlgorithm> WorldFactory::make_algorithm(
     case AlgKind::kAlg3:
       return std::make_unique<Alg3Algorithm>(spec.num_values);
     case AlgKind::kAlg4:
+      // An explicit id_space sweeps |I| (the Section 7.3 crossover bench);
+      // 0 keeps the legacy roomy default.
       return std::make_unique<Alg4Algorithm>(
           spec.num_values,
-          /*id_space_size=*/std::max<std::uint64_t>(64, 2 * spec.n));
+          /*id_space_size=*/spec.id_space != 0
+              ? spec.id_space
+              : std::max<std::uint64_t>(64, 2 * spec.n));
     case AlgKind::kNaive:
       return std::make_unique<NaiveNoCdAlgorithm>(
           /*patience=*/spec.cst_target + 8);
@@ -282,7 +288,31 @@ Round WorldFactory::multihop_max_rounds(const ScenarioSpec& spec) {
 
 namespace {
 
-void finish_common(MultihopSummary& out, const MultihopExecutor& ex) {
+/// Shared engine assembly for the capture-channel (flood / MIS) workloads:
+/// byte-identical to the pre-unification MultihopExecutor wiring -- same
+/// component construction order, same kMhLinkSalt RNG stream.
+RoundEngine make_capture_engine(const ScenarioSpec& spec, Topology topo,
+                                std::vector<std::unique_ptr<Process>> procs,
+                                std::unique_ptr<FailureAdversary> fault,
+                                const RunScenarioOptions& options) {
+  EngineWorld ew;
+  ew.world.processes = std::move(procs);
+  ew.world.cd = std::make_unique<OracleDetector>(detector_spec(spec),
+                                                 make_policy(spec));
+  ew.world.fault = std::move(fault);
+  ew.topology = std::move(topo);
+  ew.channel = ChannelModel::kCapture;
+  ew.scope = CollisionScope::kLocal;
+  ew.link = WorldFactory::make_link(spec);
+  ew.link_seed = sub_seed(spec, kMhLinkSalt);
+  EngineOptions eo;
+  eo.record_views = options.record_views;
+  eo.record_rounds = options.capture_log;
+  eo.stop_when_all_decided = false;
+  return RoundEngine(std::move(ew), eo);
+}
+
+void finish_common(MultihopSummary& out, const RoundEngine& ex) {
   out.rounds_executed = ex.current_round();
   out.broadcasts = ex.total_broadcasts();
   out.messages_per_node =
@@ -293,7 +323,9 @@ void finish_common(MultihopSummary& out, const MultihopExecutor& ex) {
   out.survivors = ex.num_alive();
 }
 
-MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo) {
+MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo,
+                          const RunScenarioOptions& options,
+                          std::optional<ExecutionLog>* log_out) {
   MultihopSummary out;
   out.ran = true;
   const std::size_t n = topo.size();
@@ -322,9 +354,9 @@ MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo) {
   // set AFTER failures cease, so completion cannot be declared while the
   // adversary still has crashes pending.
   const Round quiesce = fault->last_crash_round();
-  MultihopExecutor ex(std::move(topo), std::move(procs), detector_spec(spec),
-                      make_policy(spec), WorldFactory::make_link(spec),
-                      sub_seed(spec, kMhLinkSalt), std::move(fault));
+  RoundEngine ex = make_capture_engine(spec, std::move(topo),
+                                       std::move(procs), std::move(fault),
+                                       options);
   for (Round r = 1; r <= budget; ++r) {
     ex.step();
     // Coverage is over survivors: a copy of the message held only by dead
@@ -343,11 +375,14 @@ MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo) {
     }
   }
   finish_common(out, ex);
+  if (log_out) *log_out = ex.log();
   return out;
 }
 
 MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
-                              std::vector<bool>* heads_out) {
+                              std::vector<bool>* heads_out,
+                              const RunScenarioOptions& options,
+                              std::optional<ExecutionLog>* log_out) {
   MultihopSummary out;
   out.ran = true;
   const std::size_t n = topo.size();
@@ -367,9 +402,9 @@ MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
   }
   auto fault = WorldFactory::make_fault(spec);
   const Round quiesce = fault->last_crash_round();
-  MultihopExecutor ex(std::move(topo), std::move(procs), detector_spec(spec),
-                      make_policy(spec), WorldFactory::make_link(spec),
-                      sub_seed(spec, kMhLinkSalt), std::move(fault));
+  RoundEngine ex = make_capture_engine(spec, std::move(topo),
+                                       std::move(procs), std::move(fault),
+                                       options);
   for (Round r = 1; r <= budget; ++r) {
     ex.step();
     // Settlement is judged over survivors, and -- as in Theorem 3's bound
@@ -415,33 +450,115 @@ MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
   }
   finish_common(out, ex);
   if (heads_out) *heads_out = std::move(heads);
+  if (log_out) *log_out = ex.log();
   return out;
+}
+
+/// Consensus over a non-clique topology: the composition the RoundEngine
+/// unification buys.  The SAME component stack the single-hop path builds
+/// (WorldFactory::make: algorithm, cm, detector, loss, fault, initial
+/// values -- same salts, same streams) is driven over the spec's graph
+/// with per-neighborhood collision semantics and an adjacency-masked loss
+/// adversary.
+void run_consensus_on_topology(const ScenarioSpec& spec,
+                               const RunScenarioOptions& options,
+                               ScenarioOutcome& out) {
+  Topology topo = WorldFactory::make_topology(spec);
+  out.mh.ran = true;
+  const std::uint32_t diam = topo.diameter();
+  out.mh.connected = diam != Topology::kUnreachable;
+  out.mh.diameter = out.mh.connected ? diam : 0;
+
+  EngineWorld ew;
+  ew.world = WorldFactory::make(spec);
+  ew.topology = std::move(topo);
+  ew.channel = ChannelModel::kMatrix;
+  ew.scope = CollisionScope::kLocal;
+  EngineOptions eo;
+  eo.record_views = options.record_views;
+  eo.record_rounds = true;  // the consensus checker reads the log
+  RoundEngine engine(std::move(ew), eo);
+
+  out.summary.cst = engine.world().cst();
+  out.summary.result = engine.run(WorldFactory::max_rounds(spec));
+  out.summary.verdict =
+      check_consensus(engine.log(), engine.world().initial_values);
+  if (out.summary.cst != kNeverRound &&
+      out.summary.verdict.last_decision_round > out.summary.cst) {
+    out.summary.rounds_after_cst =
+        out.summary.verdict.last_decision_round - out.summary.cst;
+  }
+  out.mh.rounds_executed = engine.current_round();
+  out.mh.broadcasts = engine.total_broadcasts();
+  out.mh.messages_per_node =
+      spec.n > 0 ? static_cast<double>(engine.total_broadcasts()) /
+                       static_cast<double>(spec.n)
+                 : 0.0;
+  out.mh.crashes_applied = engine.crashes_applied();
+  out.mh.survivors = engine.num_alive();
+  if (options.capture_log) out.log = engine.log();
+}
+
+/// The E13 substrate workload: below the round abstraction entirely, so it
+/// bypasses the engine and asks the reference-broadcast synchronizer
+/// whether synchronized rounds exist at all under this drift/loss regime.
+SyncSummary run_round_sync(const ScenarioSpec& spec) {
+  SyncSummary s;
+  s.ran = true;
+  if (spec.n == 0) return s;
+  RoundSynchronizer::Options o;
+  o.n = spec.n;
+  o.rho = spec.sync_rho;
+  o.epoch = 1.0;
+  o.jitter = 1e-5;
+  o.beacon_loss = std::clamp(1.0 - spec.p_deliver, 0.0, 1.0);
+  o.round_length = spec.sync_round_length;
+  o.horizon = 60.0;
+  o.seed = sub_seed(spec, kSyncSalt);
+  RoundSynchronizer sync(o);
+  s.max_skew = sync.measured_max_skew(500);
+  s.skew_bound = sync.skew_bound();
+  s.round_agreement = sync.round_agreement_fraction(500);
+  s.within_bound = s.max_skew <= s.skew_bound;
+  return s;
 }
 
 }  // namespace
 
-MultihopSummary WorldFactory::run_multihop(const ScenarioSpec& spec) {
-  Topology topo = make_topology(spec);
+ScenarioOutcome WorldFactory::run_scenario(const ScenarioSpec& spec,
+                                           const RunScenarioOptions& options) {
+  ScenarioOutcome out;
   switch (spec.workload) {
     case WorkloadKind::kConsensus: {
-      // Not a multihop workload: consensus runs on the single-hop World
-      // (WorldFactory::make + run_consensus).  Refuse loudly -- the same
-      // combination SweepGrid::validate() rejects -- instead of returning
-      // an indistinguishable empty summary.
-      MultihopSummary out;
-      out.error = std::string("workload consensus invalid for topology ") +
-                  to_string(spec.topology) +
-                  " (consensus runs on the single-hop World; use workload "
-                  "mis-then-consensus for consensus over a multihop graph)";
+      if (spec.topology == TopologyKind::kSingleHop) {
+        ExecutorOptions eo;
+        eo.record_views = options.record_views;
+        if (options.capture_log) {
+          ExecutionLog log(0, false);
+          out.summary = run_consensus(make(spec), max_rounds(spec), eo, &log);
+          out.log = std::move(log);
+        } else {
+          out.summary = run_consensus(make(spec), max_rounds(spec), eo);
+        }
+      } else {
+        run_consensus_on_topology(spec, options, out);
+      }
       return out;
     }
-    case WorkloadKind::kFlood:
-      return run_flood(spec, std::move(topo));
-    case WorkloadKind::kMis:
-      return run_mis_phase(spec, std::move(topo), nullptr);
+    case WorkloadKind::kFlood: {
+      out.mh = run_flood(spec, make_topology(spec), options,
+                         options.capture_log ? &out.log : nullptr);
+      return out;
+    }
+    case WorkloadKind::kMis: {
+      out.mh = run_mis_phase(spec, make_topology(spec), nullptr, options,
+                             options.capture_log ? &out.log : nullptr);
+      return out;
+    }
     case WorkloadKind::kMisThenConsensus: {
       std::vector<bool> heads;  // surviving heads only (dead heads are out)
-      MultihopSummary out = run_mis_phase(spec, std::move(topo), &heads);
+      out.mh = run_mis_phase(spec, make_topology(spec), &heads, options,
+                             options.capture_log ? &out.log : nullptr);
       std::size_t k = 0;
       for (bool h : heads) k += h;
       if (k > 0) {
@@ -460,14 +577,51 @@ MultihopSummary WorldFactory::run_multihop(const ScenarioSpec& spec) {
           sub.crash_schedule.clear();
           sub.crash_schedule_name.clear();
         }
-        out.consensus = run_consensus(make(sub), max_rounds(sub));
+        ExecutorOptions eo;
+        eo.record_views = options.record_views;
+        if (options.capture_log) {
+          ExecutionLog log(0, false);
+          out.mh.consensus = run_consensus(make(sub), max_rounds(sub), eo,
+                                           &log);
+          out.phase2_log = std::move(log);
+        } else {
+          out.mh.consensus = run_consensus(make(sub), max_rounds(sub), eo);
+        }
+        out.summary = *out.mh.consensus;
       } else {
-        out.phase2_skipped = true;
+        out.mh.phase2_skipped = true;
       }
       return out;
     }
+    case WorkloadKind::kRoundSync: {
+      out.sync = run_round_sync(spec);
+      return out;
+    }
   }
-  return MultihopSummary{};
+  return out;
+}
+
+MultihopSummary WorldFactory::run_multihop(const ScenarioSpec& spec) {
+  // Not multihop workloads: refuse loudly -- an indistinguishable empty
+  // summary would masquerade as a real run.  run_scenario routes these
+  // correctly (consensus now executes over ANY topology via the unified
+  // engine; round-sync sits below the round abstraction).
+  if (spec.workload == WorkloadKind::kConsensus) {
+    MultihopSummary out;
+    out.error = std::string("workload consensus invalid for topology ") +
+                to_string(spec.topology) +
+                " (use run_scenario, which executes consensus over any "
+                "topology through the unified RoundEngine)";
+    return out;
+  }
+  if (spec.workload == WorkloadKind::kRoundSync) {
+    MultihopSummary out;
+    out.error =
+        "workload round-sync has no multihop phase (use run_scenario; the "
+        "synchronizer sits below the round abstraction)";
+    return out;
+  }
+  return run_scenario(spec).mh;
 }
 
 }  // namespace ccd::exp

@@ -1,32 +1,47 @@
-// WorldFactory: materialize a World (Definition 10's "system") from a
-// ScenarioSpec.  This is the single place where algorithm / detector /
-// contention-manager / adversary objects are constructed for experiments;
-// the benches and examples used to each hand-roll this wiring.  Multihop
-// specs (workload != consensus) are materialized into a Topology +
-// MultihopExecutor instead and executed by run_multihop.
+// WorldFactory: materialize and execute a scenario (Definition 10's
+// "system") from a ScenarioSpec.  This is the single place where algorithm
+// / detector / contention-manager / adversary objects are constructed for
+// experiments, and -- since the RoundEngine unification -- the single
+// place where a spec is turned into an execution: run_scenario() maps
+// every workload onto one topology-aware engine.
 //
-// Determinism contract: everything stochastic in the produced World derives
-// from spec.seed through fixed per-component streams (hash_mix with
-// distinct salts), so the same spec always yields the same execution --
-// independent of which thread of a sweep builds and runs it.  The multihop
-// path obeys the same contract: topology generation, the link model and
-// every process RNG derive from spec.seed.
+//   workload   topology    channel            scope     engine world
+//   ---------  ----------  -----------------  --------  -------------------
+//   consensus  singlehop   kMatrix (loss adv) kGlobal   clique(n), the
+//                                                       paper's model proper
+//   consensus  any other   kMatrix (loss adv) kLocal    the SAME loss/cm/
+//                                                       detector/fault stack
+//                                                       over the graph
+//   flood/mis/ any         kCapture (link     kLocal    Section 1.1 radio
+//   mis-then-              physics)                     physics per
+//   consensus                                           neighborhood
+//   round-sync (none)      --                 --        below the round
+//                                                       abstraction: the
+//                                                       RBS synchronizer
+//
+// Determinism contract: everything stochastic in a produced engine derives
+// from spec.seed through ONE hash_mix(seed ^ salt) stream discipline with
+// fixed per-component salts (cm/cd/loss/fault/init/topo/proc/link/phase2/
+// sync), so the same spec always yields the same execution -- independent
+// of which thread of a sweep builds and runs it, and identical across the
+// single-hop and multihop branches.
 #pragma once
 
 #include <memory>
 #include <optional>
 
 #include "consensus/harness.hpp"
+#include "engine/round_engine.hpp"
 #include "exp/scenario_spec.hpp"
 #include "model/process.hpp"
-#include "multihop/mh_executor.hpp"
 #include "sim/world.hpp"
 
 namespace ccd::exp {
 
-/// Result of one multihop workload run (flood / mis / mis-then-consensus).
+/// Result of one multihop workload run (flood / mis / mis-then-consensus,
+/// plus topology-level metrics for consensus-over-a-graph runs).
 struct MultihopSummary {
-  bool ran = false;        ///< false for consensus-workload records
+  bool ran = false;        ///< false for single-hop consensus records
   bool connected = false;
   std::uint32_t diameter = 0;  ///< hop diameter; valid iff connected
   Round rounds_executed = 0;   ///< multihop rounds (excludes phase 2)
@@ -58,14 +73,50 @@ struct MultihopSummary {
   /// zero-round consensus).
   bool phase2_skipped = false;
 
-  /// Non-empty when the spec could not be executed on the multihop path
-  /// (e.g. workload consensus, which belongs to the single-hop World).
+  /// Non-empty when the spec could not be executed on the multihop path.
   std::string error;
+};
+
+/// Result of one round-sync workload run (the E13 substrate validation):
+/// does the reference-broadcast synchronizer hold the round abstraction
+/// together at this drift rate / beacon loss / round length?
+struct SyncSummary {
+  bool ran = false;
+  double max_skew = 0.0;         ///< measured max pairwise skew (seconds)
+  double skew_bound = 0.0;       ///< analytic bound (seconds)
+  double round_agreement = 0.0;  ///< guarded round-number agreement fraction
+  bool within_bound = false;     ///< max_skew <= skew_bound
+};
+
+struct RunScenarioOptions {
+  /// Record per-process views (only observable through capture_log).
+  bool record_views = false;
+  /// Keep the full ExecutionLog(s) in the outcome -- the --rerun-cell
+  /// trace-capture path.  Off for sweeps: the engine then skips round
+  /// recording entirely on non-consensus workloads.
+  bool capture_log = false;
+};
+
+/// The unified result of run_scenario: exactly one of the three groups is
+/// primary, but mis-then-consensus fills both summary (its phase 2) and mh.
+struct ScenarioOutcome {
+  /// Consensus verdict: the run itself for consensus workloads, phase 2
+  /// for mis-then-consensus, default otherwise.
+  RunSummary summary;
+  /// Multihop metrics; mh.ran is false for single-hop consensus/round-sync.
+  MultihopSummary mh;
+  /// Round-sync metrics; sync.ran is false for every other workload.
+  SyncSummary sync;
+  /// capture_log only: the primary phase's full log (consensus / flood /
+  /// mis / MIS phase of mis-then-consensus)...
+  std::optional<ExecutionLog> log;
+  /// ...and the phase-2 consensus log of mis-then-consensus.
+  std::optional<ExecutionLog> phase2_log;
 };
 
 class WorldFactory {
  public:
-  /// Build the full system for a spec.
+  /// Build the full single-hop system for a spec.
   static World make(const ScenarioSpec& spec);
 
   /// The individual component factories, exposed so callers can assemble
@@ -84,7 +135,7 @@ class WorldFactory {
   /// generous enough for every algorithm at this |V| and CST.
   static Round max_rounds(const ScenarioSpec& spec);
 
-  // --- multihop path ------------------------------------------------------
+  // --- topology-aware path ------------------------------------------------
 
   /// Materialize the communication graph.  Deterministic in the spec: the
   /// random-geometric generator seeds from spec.seed, and retries derived
@@ -103,8 +154,15 @@ class WorldFactory {
   /// bound linear in n (flood progress is Omega(diameter) <= n rounds).
   static Round multihop_max_rounds(const ScenarioSpec& spec);
 
-  /// Execute the spec's multihop workload to completion (or budget).
-  /// Requires spec.workload != kConsensus.
+  /// Execute a spec, whatever its workload/topology, through the one
+  /// RoundEngine path.  THE entry point; run_one and --rerun-cell both
+  /// land here.
+  static ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                                      const RunScenarioOptions& options = {});
+
+  /// Legacy multihop entry point: run_scenario's mh slice.  Requires
+  /// spec.workload to be a multihop workload (flood / mis /
+  /// mis-then-consensus); consensus and round-sync yield a keyed error.
   static MultihopSummary run_multihop(const ScenarioSpec& spec);
 };
 

@@ -1,136 +1,26 @@
 #include "multihop/mh_executor.hpp"
 
-#include <algorithm>
-#include <cassert>
-
 namespace ccd {
 
 MultihopExecutor::MultihopExecutor(
     Topology topology, std::vector<std::unique_ptr<Process>> processes,
     DetectorSpec spec, std::unique_ptr<AdvicePolicy> policy, MhLinkModel link,
     std::uint64_t seed, std::unique_ptr<FailureAdversary> fault)
-    : topology_(std::move(topology)),
-      processes_(std::move(processes)),
-      spec_(spec),
-      policy_(std::move(policy)),
-      link_(link),
-      rng_(seed),
-      fault_(std::move(fault)) {
-  assert(topology_.size() == processes_.size());
-  const std::size_t n = processes_.size();
-  num_alive_ = n;
-  alive_.assign(n, true);
-  crash_mask_.assign(n, false);
-  sent_.resize(n);
-  recv_.resize(n);
-  last_receive_count_.assign(n, 0);
-  last_local_c_.assign(n, 0);
-  last_cd_.assign(n, CdAdvice::kNull);
-}
-
-void MultihopExecutor::apply_crashes(Round round, CrashPoint point) {
-  crash_mask_.assign(crash_mask_.size(), false);
-  if (point == CrashPoint::kBeforeSend) {
-    fault_->crash_before_send(round, alive_, crash_mask_);
-  } else {
-    fault_->crash_after_send(round, alive_, crash_mask_);
-  }
-  for (std::size_t i = 0; i < crash_mask_.size(); ++i) {
-    if (crash_mask_[i] && alive_[i]) {
-      alive_[i] = false;
-      --num_alive_;
-      ++crashes_applied_;
-    }
-  }
-}
-
-void MultihopExecutor::step() {
-  const std::size_t n = processes_.size();
-  const Round r = ++round_;
-
-  // Crash point A (Definition 11, kBeforeSend): marked processes are
-  // silent from this round on.
-  if (fault_) apply_crashes(r, CrashPoint::kBeforeSend);
-
-  // Sends.  Multihop protocols manage their own contention (no global
-  // contention manager can exist without global coordination), so every
-  // live process is advised active.
-  for (std::size_t i = 0; i < n; ++i) {
-    sent_[i] = (!alive_[i] || processes_[i]->halted())
-                   ? std::nullopt
-                   : processes_[i]->on_send(r, CmAdvice::kActive);
-    if (sent_[i].has_value()) ++total_broadcasts_;
-  }
-
-  // Crash point B (kAfterSend, the literal Definition 11 semantics): the
-  // round-r message above stays in sent_ -- it is delivered and counts
-  // toward its neighbors' c_i -- but the sender takes no round-r
-  // transition and is dead from here on.
-  if (fault_) apply_crashes(r, CrashPoint::kAfterSend);
-
-  // Delivery: per live receiver, over its broadcasting neighbors.  Dead
-  // processes receive nothing; long-dead processes never appear in any
-  // c_i because they no longer broadcast.
-  for (std::size_t i = 0; i < n; ++i) {
-    recv_[i].clear();
-    if (!alive_[i]) {
-      last_receive_count_[i] = 0;
-      last_local_c_[i] = 0;
-      continue;
-    }
-    broadcasting_neighbors_.clear();
-    for (std::uint32_t j : topology_.neighbors(i)) {
-      if (sent_[j].has_value()) broadcasting_neighbors_.push_back(j);
-    }
-    std::uint32_t local_c =
-        static_cast<std::uint32_t>(broadcasting_neighbors_.size());
-    if (sent_[i].has_value()) {
-      ++local_c;                       // own broadcast counts toward c_i
-      recv_[i].push_back(*sent_[i]);   // and is always self-delivered
-    }
-    if (broadcasting_neighbors_.size() == 1) {
-      if (rng_.chance(link_.p_single)) {
-        recv_[i].push_back(*sent_[broadcasting_neighbors_.front()]);
-      }
-    } else if (broadcasting_neighbors_.size() > 1) {
-      if (rng_.chance(link_.p_capture)) {
-        const std::uint32_t j = broadcasting_neighbors_[rng_.below(
-            broadcasting_neighbors_.size())];
-        recv_[i].push_back(*sent_[j]);
-      }
-    }
-    std::sort(recv_[i].begin(), recv_[i].end());
-    last_receive_count_[i] = static_cast<std::uint32_t>(recv_[i].size());
-    last_local_c_[i] = local_c;
-  }
-
-  // Collision detector advice from the per-receiver local counts (live
-  // receivers only; a dead process sees no further advice).
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!alive_[i]) {
-      last_cd_[i] = CdAdvice::kNull;
-      continue;
-    }
-    const std::uint32_t c = last_local_c_[i];
-    const std::uint32_t t = last_receive_count_[i];
-    CdAdvice advice;
-    if (spec_.collision_forced(c, t)) {
-      advice = CdAdvice::kCollision;
-    } else if (spec_.null_forced(r, c, t)) {
-      advice = CdAdvice::kNull;
-    } else {
-      advice = policy_->choose(r, static_cast<ProcessId>(i), c, t);
-    }
-    assert(spec_.advice_legal(r, c, t, advice));
-    last_cd_[i] = advice;
-  }
-
-  // Transitions (live processes only -- an after-send crasher skips its
-  // round-r transition, which is what distinguishes the two crash points).
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!alive_[i] || processes_[i]->halted()) continue;
-    processes_[i]->on_receive(r, recv_[i], last_cd_[i], CmAdvice::kActive);
-  }
-}
+    : engine_(
+          [&] {
+            EngineWorld ew;
+            ew.world.processes = std::move(processes);
+            ew.world.cd =
+                std::make_unique<OracleDetector>(spec, std::move(policy));
+            ew.world.fault = std::move(fault);  // null -> NoFailures
+            ew.topology = std::move(topology);
+            ew.channel = ChannelModel::kCapture;
+            ew.scope = CollisionScope::kLocal;
+            ew.link = link;
+            ew.link_seed = seed;
+            return ew;
+          }(),
+          EngineOptions{/*record_views=*/false, /*record_rounds=*/false,
+                        /*stop_when_all_decided=*/false}) {}
 
 }  // namespace ccd

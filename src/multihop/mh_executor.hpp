@@ -1,5 +1,9 @@
 // Multihop round executor: Definition 11 generalized from a clique to an
 // arbitrary topology, exactly the extension the paper's conclusion plans.
+// A thin adapter over the RoundEngine with
+//
+//   channel = ChannelModel::kCapture (Section 1.1 capture-effect physics)
+//   scope   = CollisionScope::kLocal (per-neighborhood detector counts)
 //
 // Per round, for each receiver i the relevant broadcaster count is LOCAL:
 //   c_i = |{ j : j broadcast and (j == i or j adjacent to i) }|
@@ -27,17 +31,12 @@
 #include <vector>
 
 #include "cd/oracle_detector.hpp"
+#include "engine/round_engine.hpp"
 #include "fault/failure_adversary.hpp"
 #include "model/process.hpp"
 #include "multihop/topology.hpp"
-#include "util/rng.hpp"
 
 namespace ccd {
-
-struct MhLinkModel {
-  double p_single = 1.0;   ///< lone-neighbor delivery probability
-  double p_capture = 0.5;  ///< chance to capture one of several neighbors
-};
 
 class MultihopExecutor {
  public:
@@ -48,58 +47,38 @@ class MultihopExecutor {
                    MhLinkModel link, std::uint64_t seed,
                    std::unique_ptr<FailureAdversary> fault = nullptr);
 
-  void step();
-  Round current_round() const { return round_; }
+  void step() { engine_.step(); }
+  Round current_round() const { return engine_.current_round(); }
 
-  const Topology& topology() const { return topology_; }
-  Process& process(std::size_t i) { return *processes_[i]; }
-  std::size_t size() const { return processes_.size(); }
+  const Topology& topology() const { return engine_.topology(); }
+  Process& process(std::size_t i) { return engine_.process(i); }
+  std::size_t size() const { return engine_.size(); }
 
   /// False once the failure adversary crashed process i.
-  bool alive(std::size_t i) const { return alive_[i]; }
-  std::size_t num_alive() const { return num_alive_; }
+  bool alive(std::size_t i) const { return engine_.alive(i); }
+  std::size_t num_alive() const { return engine_.num_alive(); }
   /// Crashes the adversary actually applied so far (alive targets only).
-  std::uint64_t crashes_applied() const { return crashes_applied_; }
+  std::uint64_t crashes_applied() const { return engine_.crashes_applied(); }
 
   /// Receive count of process i in the last executed round.
   std::uint32_t last_receive_count(std::size_t i) const {
-    return last_receive_count_[i];
+    return engine_.last_receive_count(i);
   }
   /// Local broadcaster count c_i in the last executed round.
   std::uint32_t last_local_broadcasters(std::size_t i) const {
-    return last_local_c_[i];
+    return engine_.last_local_broadcasters(i);
   }
-  CdAdvice last_cd(std::size_t i) const { return last_cd_[i]; }
+  CdAdvice last_cd(std::size_t i) const { return engine_.last_cd(i); }
 
   /// Broadcasts attempted over all executed rounds (the energy/message
   /// cost the Section 1.1 literature budgets per node).
-  std::uint64_t total_broadcasts() const { return total_broadcasts_; }
+  std::uint64_t total_broadcasts() const { return engine_.total_broadcasts(); }
+
+  /// The underlying engine.
+  RoundEngine& engine() { return engine_; }
 
  private:
-  /// Query one crash hook and kill the marked (still-alive) processes.
-  void apply_crashes(Round round, CrashPoint point);
-
-  Topology topology_;
-  std::vector<std::unique_ptr<Process>> processes_;
-  DetectorSpec spec_;
-  std::unique_ptr<AdvicePolicy> policy_;
-  MhLinkModel link_;
-  Rng rng_;
-  std::unique_ptr<FailureAdversary> fault_;
-  Round round_ = 0;
-  std::uint64_t total_broadcasts_ = 0;
-  std::uint64_t crashes_applied_ = 0;
-  std::size_t num_alive_ = 0;
-
-  // Scratch.
-  std::vector<bool> alive_;
-  std::vector<bool> crash_mask_;
-  std::vector<std::optional<Message>> sent_;
-  std::vector<std::vector<Message>> recv_;
-  std::vector<std::uint32_t> last_receive_count_;
-  std::vector<std::uint32_t> last_local_c_;
-  std::vector<CdAdvice> last_cd_;
-  std::vector<std::uint32_t> broadcasting_neighbors_;  // per receiver
+  RoundEngine engine_;
 };
 
 }  // namespace ccd

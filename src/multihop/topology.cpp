@@ -218,6 +218,82 @@ std::size_t Topology::largest_component_without(std::size_t v) const {
   return largest;
 }
 
+std::vector<std::uint32_t> Topology::min_vertex_cut(
+    std::size_t max_size) const {
+  const std::size_t n = size();
+  if (n < 3) return {};
+  if (n > 64) max_size = std::min<std::size_t>(max_size, 1);
+
+  // Largest surviving component with the candidate set removed, or n when
+  // the removal does NOT separate the survivors (not a cut).
+  std::vector<bool> removed(n, false);
+  std::vector<bool> seen(n, false);
+  std::deque<std::uint32_t> queue;
+  auto damage = [&](const std::vector<std::uint32_t>& cut) -> std::size_t {
+    std::fill(removed.begin(), removed.end(), false);
+    for (std::uint32_t v : cut) removed[v] = true;
+    std::fill(seen.begin(), seen.end(), false);
+    std::size_t components = 0, survivors = 0, largest = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (removed[s] || seen[s]) continue;
+      ++components;
+      std::size_t count = 0;
+      seen[s] = true;
+      queue.push_back(static_cast<std::uint32_t>(s));
+      while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        ++count;
+        for (std::uint32_t w : adjacency_[u]) {
+          if (!removed[w] && !seen[w]) {
+            seen[w] = true;
+            queue.push_back(w);
+          }
+        }
+      }
+      survivors += count;
+      largest = std::max(largest, count);
+    }
+    if (components < 2 || survivors < 2) return n;  // not a separator
+    return largest;
+  };
+
+  // Smallest k first; within a k, lexicographic enumeration means the
+  // first set achieving the best damage is the lexicographically-first
+  // such set.
+  std::vector<std::uint32_t> best;
+  for (std::size_t k = 1; k <= max_size && k + 2 <= n; ++k) {
+    std::size_t best_damage = n;
+    std::vector<std::uint32_t> pick(k);
+    // Odometer over ascending index combinations.
+    for (std::size_t i = 0; i < k; ++i) {
+      pick[i] = static_cast<std::uint32_t>(i);
+    }
+    while (true) {
+      const std::size_t d = damage(pick);
+      if (d < best_damage) {
+        best_damage = d;
+        best = pick;
+      }
+      // Advance the combination.
+      bool advanced = false;
+      for (std::size_t i = k; i-- > 0;) {
+        if (pick[i] + (k - i) < n) {
+          ++pick[i];
+          for (std::size_t j = i + 1; j < k; ++j) {
+            pick[j] = pick[j - 1] + 1;
+          }
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) break;
+    }
+    if (!best.empty()) return best;
+  }
+  return best;
+}
+
 std::uint32_t Topology::diameter() const {
   std::uint32_t worst = 0;
   for (std::size_t i = 0; i < size(); ++i) {

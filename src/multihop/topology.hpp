@@ -67,6 +67,16 @@ class Topology {
   /// damage: smaller is a more balanced, worse partition.
   std::size_t largest_component_without(std::size_t v) const;
 
+  /// A minimum vertex cut of size at most `max_size`: the smallest set S
+  /// whose removal leaves >= 2 nodes in >= 2 components.  Among same-size
+  /// cuts the most damaging wins (smallest largest surviving component),
+  /// lexicographically-first on ties.  Empty when no such cut exists
+  /// (cliques, graphs with < 3 nodes, min cut > max_size).  Brute-force
+  /// combination search, sized for sweep-scale graphs: on graphs larger
+  /// than 64 nodes the search is capped at single vertices (the
+  /// articulation-point regime) to stay O(n * edges).
+  std::vector<std::uint32_t> min_vertex_cut(std::size_t max_size = 3) const;
+
  private:
   explicit Topology(std::size_t n) : adjacency_(n) {}
   void add_edge(std::size_t a, std::size_t b);

@@ -1,177 +1,19 @@
 #include "sim/executor.hpp"
 
-#include <algorithm>
-#include <cassert>
-
-#include "cm/no_cm.hpp"
-#include "net/no_loss.hpp"
-
 namespace ccd {
 
 Executor::Executor(World world, ExecutorOptions options)
-    : world_(std::move(world)),
-      options_(options),
-      log_(world_.size(), options.record_views) {
-  const std::size_t n = world_.size();
-  assert(world_.initial_values.size() == n);
-  // Degenerate-world robustness: a caller-assembled World may omit
-  // components.  Substitute the neutral element for each rather than
-  // dereferencing null mid-round: NoCM (everyone active), the NoCD
-  // detector (no information), a perfect channel, no failures.
-  if (!world_.cm) world_.cm = std::make_unique<NoCm>();
-  if (!world_.cd) {
-    world_.cd = std::make_unique<OracleDetector>(DetectorSpec::NoCD(),
-                                                 make_truthful_policy());
-  }
-  if (!world_.loss) world_.loss = std::make_unique<NoLoss>();
-  if (!world_.fault) world_.fault = std::make_unique<NoFailures>();
-  alive_.assign(n, true);
-  decided_value_.assign(n, kNoValue);
-  for (std::size_t i = 0; i < n; ++i) {
-    log_.set_initial_value(static_cast<ProcessId>(i),
-                           world_.initial_values[i]);
-  }
-}
-
-bool Executor::all_correct_decided() const {
-  for (std::size_t i = 0; i < world_.size(); ++i) {
-    if (alive_[i] && decided_value_[i] == kNoValue) return false;
-  }
-  return true;
-}
-
-void Executor::step() {
-  const std::size_t n = world_.size();
-  const Round r = ++round_;
-
-  // Participation mask for the contention manager: crashed and halted
-  // processes are out of the protocol.
-  participating_.assign(n, false);
-  for (std::size_t i = 0; i < n; ++i) {
-    participating_[i] = alive_[i] && !world_.processes[i]->halted();
-  }
-
-  // W_r: contention advice.
-  world_.cm->advise(r, participating_, cm_advice_);
-  cm_advice_.resize(n, CmAdvice::kPassive);
-
-  // Crashes before sends.
-  crash_mask_.assign(n, false);
-  world_.fault->crash_before_send(r, alive_, crash_mask_);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (crash_mask_[i] && alive_[i]) {
-      alive_[i] = false;
-      participating_[i] = false;
-      log_.record_crash(static_cast<ProcessId>(i), r);
-    }
-  }
-
-  // M_r: message assignments.
-  sent_flag_.assign(n, false);
-  sent_msg_.assign(n, std::nullopt);
-  std::uint32_t broadcaster_count = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!participating_[i]) continue;
-    sent_msg_[i] = world_.processes[i]->on_send(r, cm_advice_[i]);
-    if (sent_msg_[i].has_value()) {
-      sent_flag_[i] = true;
-      ++broadcaster_count;
-    }
-  }
-
-  // Crashes after sends: the round-r message is out, the transition is not
-  // taken (Definition 11, constraint 2's fail branch).
-  crash_mask_.assign(n, false);
-  world_.fault->crash_after_send(r, alive_, crash_mask_);
-
-  // N_r: delivery decided by the loss adversary; integrity/no-duplication
-  // hold by construction (a receiver gets at most one copy of each sent
-  // message), self-delivery is enforced here (constraint 5).
-  delivery_.reset(n, false);
-  world_.loss->decide_delivery(r, sent_flag_, delivery_);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (sent_flag_[j]) delivery_.set(j, j, true);
-  }
-
-  recv_.resize(n);
-  recv_count_.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    recv_[i].clear();
-    if (!participating_[i]) continue;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (sent_flag_[j] && delivery_.delivered(i, j)) {
-        recv_[i].push_back(*sent_msg_[j]);
-      }
-    }
-    // Receive sets are multisets; sort for a canonical representation so
-    // views compare structurally (Definition 12).
-    std::sort(recv_[i].begin(), recv_[i].end());
-    recv_count_[i] = static_cast<std::uint32_t>(recv_[i].size());
-  }
-
-  // D_r: collision detector advice within the class envelope.
-  world_.cd->advise(r, broadcaster_count, recv_count_, cd_advice_);
-  world_.cm->observe(r, broadcaster_count);
-
-  // C_r: transitions (skipped for processes crashing this round).
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!participating_[i] || crash_mask_[i]) continue;
-    world_.processes[i]->on_receive(r, recv_[i], cd_advice_[i],
-                                    cm_advice_[i]);
-    if (decided_value_[i] == kNoValue && world_.processes[i]->decided()) {
-      decided_value_[i] = world_.processes[i]->decision();
-      log_.record_decision(static_cast<ProcessId>(i), r, decided_value_[i]);
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (crash_mask_[i] && alive_[i]) {
-      alive_[i] = false;
-      log_.record_crash(static_cast<ProcessId>(i), r);
-    }
-  }
-
-  // Record the round.
-  TransmissionRound tr;
-  tr.broadcaster_count = broadcaster_count;
-  tr.receive_count = recv_count_;
-  std::vector<RoundView> views;
-  if (log_.views_recorded()) {
-    views.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      views[i].sent = sent_msg_[i];
-      views[i].received = recv_[i];
-      views[i].cd = cd_advice_[i];
-      views[i].cm = cm_advice_[i];
-      views[i].crashed = !alive_[i];
-    }
-  }
-  log_.push_round(std::move(tr), cd_advice_, cm_advice_, std::move(views));
-}
-
-RunResult Executor::run(Round max_rounds) {
-  RunResult result;
-  // n = 0: no process can ever send, decide or crash; every consensus
-  // property holds vacuously.  Return instead of spinning max_rounds empty
-  // rounds (which callers with stop_when_all_decided = false would hit).
-  if (world_.size() == 0) {
-    result.all_correct_decided = true;
-    return result;
-  }
-  while (round_ < max_rounds) {
-    if (options_.stop_when_all_decided && all_correct_decided()) break;
-    step();
-  }
-  result.rounds_executed = round_;
-  result.all_correct_decided = all_correct_decided();
-  for (const DecisionRecord& d : log_.decisions()) {
-    if (alive_[d.process] && d.round > result.last_decision_round) {
-      result.last_decision_round = d.round;
-    }
-  }
-  for (bool a : alive_) {
-    if (!a) ++result.num_crashed;
-  }
-  return result;
-}
+    : engine_(
+          [&] {
+            EngineWorld ew;
+            const std::size_t n = world.processes.size();
+            ew.world = std::move(world);
+            ew.topology = Topology::clique(n);
+            ew.channel = ChannelModel::kMatrix;
+            ew.scope = CollisionScope::kGlobal;
+            return ew;
+          }(),
+          EngineOptions{options.record_views, /*record_rounds=*/true,
+                        options.stop_when_all_decided}) {}
 
 }  // namespace ccd

@@ -1,4 +1,12 @@
-// Synchronous round executor implementing Definition 11's semantics:
+// Synchronous single-hop round executor: the paper's Definition 11 model
+// proper, as a thin adapter over the topology-aware RoundEngine with
+//
+//   topology = Topology::clique(n)   (single hop: everyone hears everyone)
+//   channel  = ChannelModel::kMatrix (the Section 3.2 loss adversary)
+//   scope    = CollisionScope::kGlobal (one oracle, global broadcaster
+//                                       count)
+//
+// which the engine executes as:
 //
 //   W_r  contention advice        (constraint 7: from the manager)
 //   M_r  message assignment       (constraint 3: the msg function)
@@ -21,8 +29,7 @@
 // protocol.
 #pragma once
 
-#include <vector>
-
+#include "engine/round_engine.hpp"
 #include "sim/execution_log.hpp"
 #include "sim/world.hpp"
 
@@ -34,54 +41,33 @@ struct ExecutorOptions {
   bool stop_when_all_decided = true;
 };
 
-struct RunResult {
-  bool all_correct_decided = false;
-  Round last_decision_round = 0;  ///< max decision round among correct procs
-  Round rounds_executed = 0;
-  std::uint32_t num_crashed = 0;
-};
-
 class Executor {
  public:
   Executor(World world, ExecutorOptions options = {});
 
   /// Execute exactly one round.
-  void step();
+  void step() { engine_.step(); }
 
   /// Execute until all non-crashed processes decide (if enabled) or
   /// max_rounds elapse.
-  RunResult run(Round max_rounds);
+  RunResult run(Round max_rounds) { return engine_.run(max_rounds); }
 
-  Round current_round() const { return round_; }
-  const ExecutionLog& log() const { return log_; }
-  const World& world() const { return world_; }
+  Round current_round() const { return engine_.current_round(); }
+  const ExecutionLog& log() const { return engine_.log(); }
+  const World& world() const { return engine_.world(); }
 
-  bool alive(ProcessId i) const { return alive_[i]; }
-  bool decided(ProcessId i) const { return decided_value_[i] != kNoValue; }
-  Value decision(ProcessId i) const { return decided_value_[i]; }
+  bool alive(ProcessId i) const { return engine_.alive(i); }
+  bool decided(ProcessId i) const { return engine_.decided(i); }
+  Value decision(ProcessId i) const { return engine_.decision(i); }
 
   /// True iff every non-crashed process has decided.
-  bool all_correct_decided() const;
+  bool all_correct_decided() const { return engine_.all_correct_decided(); }
+
+  /// The underlying engine (trace capture moves the log out through this).
+  RoundEngine& engine() { return engine_; }
 
  private:
-  World world_;
-  ExecutorOptions options_;
-  ExecutionLog log_;
-  Round round_ = 0;
-
-  std::vector<bool> alive_;
-  std::vector<bool> participating_;  // alive and not halted; scratch
-  std::vector<Value> decided_value_;
-
-  // Per-round scratch buffers (reused to avoid churn).
-  std::vector<CmAdvice> cm_advice_;
-  std::vector<CdAdvice> cd_advice_;
-  std::vector<bool> crash_mask_;
-  std::vector<bool> sent_flag_;
-  std::vector<std::optional<Message>> sent_msg_;
-  std::vector<std::vector<Message>> recv_;
-  std::vector<std::uint32_t> recv_count_;
-  DeliveryMatrix delivery_;
+  RoundEngine engine_;
 };
 
 }  // namespace ccd

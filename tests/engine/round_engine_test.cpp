@@ -1,0 +1,184 @@
+// RoundEngine semantics: the configuration axes (channel, scope) and their
+// interaction with topology and crash points.  The byte-level equivalence
+// with the pre-refactor executors is pinned by exp/golden_report_test; the
+// adapter-level behaviour by the existing executor/mh_executor tests
+// (which now drive the engine through sim::Executor / MultihopExecutor).
+#include "engine/round_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cm/no_cm.hpp"
+#include "consensus/alg2_zero_oac.hpp"
+#include "consensus/harness.hpp"
+#include "net/no_loss.hpp"
+
+namespace ccd {
+namespace {
+
+/// Broadcasts every round (or never); records its observations.
+class BeaconProcess final : public Process {
+ public:
+  explicit BeaconProcess(bool talk) : talk_(talk) {}
+  std::optional<Message> on_send(Round, CmAdvice) override {
+    if (talk_) return Message{Message::Kind::kPayload, 7, 0};
+    return std::nullopt;
+  }
+  void on_receive(Round, std::span<const Message> received, CdAdvice,
+                  CmAdvice) override {
+    last_count_ = received.size();
+    ++transitions_;
+  }
+  std::size_t last_count_ = 0;
+  std::uint32_t transitions_ = 0;
+
+ private:
+  bool talk_;
+};
+
+EngineWorld beacon_world(Topology topo, std::vector<bool> talk,
+                         ChannelModel channel, CollisionScope scope,
+                         std::unique_ptr<FailureAdversary> fault = nullptr) {
+  EngineWorld ew;
+  for (bool b : talk) {
+    ew.world.processes.push_back(std::make_unique<BeaconProcess>(b));
+  }
+  // Pin the detector: the engine's null-substitution default is NoCD (the
+  // constant "+-" detector), which would drown the advice assertions.
+  ew.world.cd = std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                                 make_truthful_policy());
+  ew.world.fault = std::move(fault);
+  ew.topology = std::move(topo);
+  ew.channel = channel;
+  ew.scope = scope;
+  ew.link = {1.0, 1.0};
+  return ew;
+}
+
+EngineOptions quiet_options() {
+  EngineOptions options;
+  options.record_views = false;
+  options.record_rounds = false;
+  options.stop_when_all_decided = false;
+  return options;
+}
+
+TEST(RoundEngine, MatrixChannelMasksDeliveryByAdjacency) {
+  // Line 0-1-2, perfect matrix channel (NoLoss fills the whole matrix):
+  // node 0 broadcasts; node 1 is adjacent and receives, node 2 is NOT
+  // adjacent -- the adjacency mask must drop the matrix entry, and its
+  // local c must be 0 (accuracy: no collision to report two hops away).
+  auto ew = beacon_world(Topology::line(3), {true, false, false},
+                         ChannelModel::kMatrix, CollisionScope::kLocal);
+  RoundEngine engine(std::move(ew), quiet_options());
+  engine.step();
+  EXPECT_EQ(engine.last_receive_count(0), 1u);  // self-delivery
+  EXPECT_EQ(engine.last_local_broadcasters(0), 1u);
+  EXPECT_EQ(engine.last_receive_count(1), 1u);
+  EXPECT_EQ(engine.last_local_broadcasters(1), 1u);
+  EXPECT_EQ(engine.last_receive_count(2), 0u);
+  EXPECT_EQ(engine.last_local_broadcasters(2), 0u);
+  EXPECT_EQ(engine.last_cd(2), CdAdvice::kNull);
+}
+
+TEST(RoundEngine, GlobalAndLocalScopeAgreeOnACliqueDeterministically) {
+  // On a clique, per-neighborhood counts degenerate to the global count,
+  // so with RNG-free components (truthful detector, NoLoss, NoCm) the two
+  // scopes must produce the SAME consensus execution.
+  auto build = [](CollisionScope scope) {
+    Alg2Algorithm alg(16);
+    EngineWorld ew;
+    ew.world = make_world(alg, {3, 9, 9, 3, 7, 1},
+                          std::make_unique<NoCm>(),
+                          std::make_unique<OracleDetector>(
+                              DetectorSpec::ZeroAC(), make_truthful_policy()),
+                          std::make_unique<NoLoss>(),
+                          std::make_unique<NoFailures>());
+    ew.topology = Topology::clique(6);
+    ew.channel = ChannelModel::kMatrix;
+    ew.scope = scope;
+    return RoundEngine(std::move(ew), EngineOptions{});
+  };
+  RoundEngine global = build(CollisionScope::kGlobal);
+  RoundEngine local = build(CollisionScope::kLocal);
+  const RunResult rg = global.run(500);
+  const RunResult rl = local.run(500);
+  EXPECT_EQ(rg.all_correct_decided, rl.all_correct_decided);
+  EXPECT_EQ(rg.rounds_executed, rl.rounds_executed);
+  EXPECT_EQ(rg.last_decision_round, rl.last_decision_round);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(global.decision(i), local.decision(i)) << i;
+  }
+}
+
+TEST(RoundEngine, AfterSendCrashVisibilityFollowsScope) {
+  // Process 0 broadcasts and crashes after its round-1 send.  Both scopes
+  // deliver the message and skip the crasher's transition; they differ in
+  // whether the corpse's own view still forms (kGlobal: Definition 11's
+  // literal reading) or it leaves the channel immediately (kLocal).
+  auto crash0 = [] {
+    return std::make_unique<ScheduledCrash>(
+        std::vector<CrashEvent>{{1, 0, CrashPoint::kAfterSend}});
+  };
+  for (CollisionScope scope :
+       {CollisionScope::kGlobal, CollisionScope::kLocal}) {
+    auto ew = beacon_world(Topology::clique(2), {true, false},
+                           ChannelModel::kMatrix, scope, crash0());
+    RoundEngine engine(std::move(ew), quiet_options());
+    BeaconProcess& crasher = static_cast<BeaconProcess&>(engine.process(0));
+    BeaconProcess& survivor = static_cast<BeaconProcess&>(engine.process(1));
+    engine.step();
+    EXPECT_FALSE(engine.alive(0));
+    EXPECT_EQ(engine.num_alive(), 1u);
+    EXPECT_EQ(engine.crashes_applied(), 1u);
+    // The round-1 message went out either way (Definition 11: the message
+    // derives from the pre-crash state)...
+    EXPECT_EQ(survivor.last_count_, 1u);
+    EXPECT_EQ(survivor.transitions_, 1u);
+    // ...and the crasher never takes its round-1 transition.
+    EXPECT_EQ(crasher.transitions_, 0u);
+    // Scope-dependent: does the crasher's round-1 view still form?
+    if (scope == CollisionScope::kGlobal) {
+      EXPECT_EQ(engine.last_receive_count(0), 1u);  // self-delivery observed
+    } else {
+      EXPECT_EQ(engine.last_receive_count(0), 0u);  // out of the channel
+    }
+  }
+}
+
+TEST(RoundEngine, CaptureChannelCountsBroadcastsAndKeepsTopology) {
+  auto ew = beacon_world(Topology::ring(5), {true, true, false, false, false},
+                         ChannelModel::kCapture, CollisionScope::kLocal);
+  ew.link_seed = 42;
+  RoundEngine engine(std::move(ew), quiet_options());
+  for (int r = 0; r < 3; ++r) engine.step();
+  EXPECT_EQ(engine.total_broadcasts(), 6u);  // 2 talkers x 3 rounds
+  EXPECT_EQ(engine.topology().size(), 5u);
+  EXPECT_EQ(engine.current_round(), 3u);
+  EXPECT_TRUE(engine.all_correct_decided() == false ||
+              engine.size() == 0);  // beacons never decide
+}
+
+TEST(RoundEngine, RecordsRoundsOnlyWhenAsked) {
+  auto make = [](bool record_rounds) {
+    auto ew = beacon_world(Topology::clique(3), {true, false, false},
+                           ChannelModel::kMatrix, CollisionScope::kGlobal);
+    EngineOptions options;
+    options.record_views = record_rounds;
+    options.record_rounds = record_rounds;
+    options.stop_when_all_decided = false;
+    return RoundEngine(std::move(ew), options);
+  };
+  RoundEngine quiet = make(false);
+  RoundEngine logged = make(true);
+  for (int r = 0; r < 4; ++r) {
+    quiet.step();
+    logged.step();
+  }
+  EXPECT_EQ(quiet.log().num_rounds(), 0u);
+  EXPECT_EQ(logged.log().num_rounds(), 4u);
+  EXPECT_EQ(logged.log().transmission().at(2).broadcaster_count, 1u);
+  EXPECT_TRUE(logged.log().views_recorded());
+}
+
+}  // namespace
+}  // namespace ccd

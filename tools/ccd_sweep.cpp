@@ -35,6 +35,7 @@
 #include "exp/shard/shard_runner.hpp"
 #include "exp/sweep_grid.hpp"
 #include "exp/sweep_runner.hpp"
+#include "exp/trace_capture.hpp"
 
 namespace {
 
@@ -72,8 +73,17 @@ scalar knobs:
   --grid-seed S        master seed (default: grid's)
   --chaos calm|chaotic pre-CST environment flavour
   --init random|split|same
-  --p-deliver P        delivery probability knob
+  --p-deliver P        delivery probability knob (round-sync: beacon
+                       delivery, loss = 1 - P)
   --max-rounds N       per-run round cap (0 = auto)
+  --sync-rho R         round-sync: max clock rate deviation (default 1e-4)
+  --sync-round-length L  round-sync: round length in seconds (default 0.05)
+
+trace capture:
+  --rerun-cell N       re-execute every run of report cell N of the
+                       assembled grid, single-threaded, with full
+                       ExecutionLogs (record_views = true), and dump the
+                       traces as JSON (--json PATH, else stdout)
 
 execution and output:
   --threads N          worker threads (0 = hardware concurrency; default 0)
@@ -243,6 +253,10 @@ int main(int argc, char** argv) {
   bool resume = false;
   bool grid_flags_used = false;
 
+  // Trace capture (--rerun-cell).
+  bool have_rerun_cell = false;
+  std::size_t rerun_cell_index = 0;
+
   // First pass: find the grid so axis flags can override it.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-grids") == 0) {
@@ -283,7 +297,8 @@ int main(int argc, char** argv) {
         "--cms",       "--losses",    "--faults",          "--crash-schedules",
         "--n",         "--values",    "--csts",            "--topologies",
         "--workloads", "--densities", "--seeds",           "--grid-seed",
-        "--chaos",     "--init",      "--p-deliver",       "--max-rounds"};
+        "--chaos",     "--init",      "--p-deliver",       "--max-rounds",
+        "--sync-rho",  "--sync-round-length"};
     for (const char* g : kGridFlags) {
       if (flag == g) grid_flags_used = true;
     }
@@ -359,6 +374,21 @@ int main(int argc, char** argv) {
       ok = v && parse_u64_flag(v, "max-rounds", rounds) &&
            rounds <= ccd::kNeverRound;
       if (ok) grid.base.max_rounds = static_cast<ccd::Round>(rounds);
+    } else if (flag == "--sync-rho") {
+      const char* v = next();
+      ok = v && parse_double_flag(v, "sync-rho", grid.base.sync_rho);
+    } else if (flag == "--sync-round-length") {
+      const char* v = next();
+      ok = v && parse_double_flag(v, "sync-round-length",
+                                  grid.base.sync_round_length);
+    } else if (flag == "--rerun-cell") {
+      const char* v = next();
+      std::uint64_t cell = 0;
+      ok = v && parse_u64_flag(v, "rerun-cell", cell);
+      if (ok) {
+        have_rerun_cell = true;
+        rerun_cell_index = static_cast<std::size_t>(cell);
+      }
     } else if (flag == "--threads") {
       const char* v = next();
       std::uint64_t t = 0;
@@ -434,6 +464,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ccd_sweep: --emit-shards conflicts with --shard\n");
     return 2;
   }
+  if (have_rerun_cell &&
+      (have_shard || !shard_file.empty() || emit_shards > 0)) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --rerun-cell conflicts with sharded execution "
+                 "(it re-runs one cell of the assembled grid)\n");
+    return 2;
+  }
   const bool worker_mode = have_shard || !shard_file.empty();
   if (!worker_mode && (!checkpoint_path.empty() || resume)) {
     std::fprintf(stderr,
@@ -455,6 +492,38 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ccd_sweep: %s\n", problem->c_str());
       return 2;
     }
+  }
+
+  if (have_rerun_cell) {
+    if (rerun_cell_index >= grid.num_cells()) {
+      std::fprintf(stderr,
+                   "ccd_sweep: --rerun-cell %zu out of range (grid has %zu "
+                   "cells)\n",
+                   rerun_cell_index, grid.num_cells());
+      return 2;
+    }
+    if (!csv_path.empty()) {
+      std::fprintf(stderr,
+                   "ccd_sweep: --rerun-cell emits a JSON trace dump, not a "
+                   "CSV report\n");
+      return 2;
+    }
+    const std::vector<TracedRun> runs = rerun_cell(grid, rerun_cell_index);
+    const std::string dump =
+        traced_runs_to_json(grid, rerun_cell_index, runs) + "\n";
+    if (!json_path.empty()) {
+      if (!write_file(json_path, dump)) return 1;
+    } else {
+      std::fwrite(dump.data(), 1, dump.size(), stdout);
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "ccd_sweep: traced cell %zu (%u runs, full views)%s%s\n",
+                   rerun_cell_index, grid.seeds_per_cell,
+                   json_path.empty() ? "" : " -> ",
+                   json_path.empty() ? "" : json_path.c_str());
+    }
+    return 0;
   }
 
   if (emit_shards > 0) {
