@@ -14,10 +14,13 @@
 #include "consensus/alg2_zero_oac.hpp"
 #include "consensus/harness.hpp"
 #include "engine/round_engine.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
 #include "fault/failure_adversary.hpp"
 #include "multihop/flood.hpp"
 #include "multihop/mis.hpp"
 #include "net/ecf_adversary.hpp"
+#include "obs/perf_sidecar.hpp"
 #include "sim/executor.hpp"
 
 namespace ccd {
@@ -168,6 +171,34 @@ void BM_LossDelivery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_LossDelivery)->Arg(16)->Arg(256);
+
+// Sweep throughput measured on REAL sweep runs through the telemetry
+// counters: items/sec is engine rounds/sec over a small smoke grid, the
+// same number `ccd_sweep --bench-out` reports on the full grids.  Replaces
+// eyeballing BM_EngineRound* against sweep wall time -- the counter totals
+// are deterministic, so iterations differ only in wall clock.
+void BM_SweepThroughput(benchmark::State& state) {
+  auto grid = exp::SweepGrid::named("smoke");
+  if (!grid) {
+    state.SkipWithError("smoke grid missing");
+    return;
+  }
+  grid->seeds_per_cell = 2;
+  std::uint64_t rounds = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    obs::SweepPerf perf;
+    exp::SweepOptions options;
+    options.threads = 1;
+    options.perf = &perf;
+    benchmark::DoNotOptimize(exp::run_sweep(*grid, options));
+    rounds += perf.counters.rounds;
+    runs += perf.runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_SweepThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_FullConsensusRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -58,7 +58,8 @@ World make_world(const ConsensusAlgorithm& algorithm,
 }
 
 RunSummary run_consensus(World world, Round max_rounds,
-                         ExecutorOptions options, ExecutionLog* log_out) {
+                         ExecutorOptions options, ExecutionLog* log_out,
+                         obs::EngineCounters* counters_out) {
   RunSummary summary;
   // Degenerate worlds (n = 0, missing components, everyone crashed in the
   // opening round) are legal inputs: the Executor substitutes neutral
@@ -77,6 +78,7 @@ RunSummary run_consensus(World world, Round max_rounds,
                                summary.cst;
   }
   if (log_out) *log_out = executor.log();
+  if (counters_out) counters_out->add(executor.engine().counters());
   return summary;
 }
 

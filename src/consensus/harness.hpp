@@ -51,9 +51,13 @@ struct RunSummary {
 
 /// Run to completion (or max_rounds) and verify.  `log_out`, when non-null,
 /// receives a copy of the full ExecutionLog (the --rerun-cell trace-capture
-/// path); sweeps leave it null.
+/// path); sweeps leave it null.  `counters_out`, when non-null, receives
+/// the engine's telemetry tallies ADDED onto whatever it already holds
+/// (multi-phase callers accumulate across phases); pure observation --
+/// the run itself is unchanged.
 RunSummary run_consensus(World world, Round max_rounds,
                          ExecutorOptions options = {},
-                         ExecutionLog* log_out = nullptr);
+                         ExecutionLog* log_out = nullptr,
+                         obs::EngineCounters* counters_out = nullptr);
 
 }  // namespace ccd

@@ -110,6 +110,7 @@ void RoundEngine::deliver_matrix(Round r) {
       // views compare structurally (Definition 12).
       std::sort(recv_[i].begin(), recv_[i].end());
       recv_count_[i] = static_cast<std::uint32_t>(recv_[i].size());
+      counters_.messages_delivered += recv_count_[i];
     }
   } else {
     // Arbitrary graph: the adversary's matrix is masked by adjacency, and
@@ -134,6 +135,7 @@ void RoundEngine::deliver_matrix(Round r) {
       }
       std::sort(recv_[i].begin(), recv_[i].end());
       recv_count_[i] = static_cast<std::uint32_t>(recv_[i].size());
+      counters_.messages_delivered += recv_count_[i];
       local_c_[i] = c;
     }
   }
@@ -174,6 +176,7 @@ void RoundEngine::deliver_capture() {
     }
     std::sort(recv_[i].begin(), recv_[i].end());
     recv_count_[i] = static_cast<std::uint32_t>(recv_[i].size());
+    counters_.messages_delivered += recv_count_[i];
     local_c_[i] = local_c;
   }
 }
@@ -182,6 +185,7 @@ void RoundEngine::step() {
   const std::size_t n = size();
   const Round r = ++round_;
   const bool local = world_.scope == CollisionScope::kLocal;
+  ++counters_.rounds;
 
   // Participation mask for the contention manager: crashed and halted
   // processes are out of the protocol.
@@ -192,12 +196,15 @@ void RoundEngine::step() {
   // W_r: contention advice.
   world_.world.cm->advise(r, participating_, cm_advice_);
   cm_advice_.resize(n, CmAdvice::kPassive);
+  ++counters_.cm_advice_calls;
 
   // Crash point A (kBeforeSend): marked processes are silent from round r
   // on.
   crash_mask_.assign(n, false);
   world_.world.fault->crash_before_send(r, alive_, crash_mask_);
+  const std::uint64_t crashes_pre_a = crashes_applied_;
   commit_crashes(r);
+  counters_.crashes_before_send += crashes_applied_ - crashes_pre_a;
 
   // M_r: message assignments.
   sent_flag_.assign(n, false);
@@ -219,6 +226,7 @@ void RoundEngine::step() {
   // delivery; kGlobal defers so the crasher's round-r view still forms.
   crash_mask_.assign(n, false);
   world_.world.fault->crash_after_send(r, alive_, crash_mask_);
+  const std::uint64_t crashes_pre_b = crashes_applied_;
   if (local) commit_crashes(r);
 
   // N_r: receive multisets.
@@ -228,17 +236,24 @@ void RoundEngine::step() {
     deliver_capture();
   }
 
+  counters_.messages_sent += broadcaster_count_;
+
   // D_r: collision detector advice within the class envelope -- one global
   // oracle call on a clique, per-neighborhood (c_i, T(i)) otherwise.
   if (!local) {
     world_.world.cd->advise(r, broadcaster_count_, recv_count_, cd_advice_);
+    ++counters_.cd_advice_calls;
+    if (broadcaster_count_ >= 2) ++counters_.collisions;
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      cd_advice_[i] = alive_[i]
-                          ? world_.world.cd->advise_local(
-                                r, static_cast<ProcessId>(i), local_c_[i],
-                                recv_count_[i])
-                          : CdAdvice::kNull;
+      if (alive_[i]) {
+        cd_advice_[i] = world_.world.cd->advise_local(
+            r, static_cast<ProcessId>(i), local_c_[i], recv_count_[i]);
+        ++counters_.cd_advice_calls;
+        if (local_c_[i] >= 2) ++counters_.collisions;
+      } else {
+        cd_advice_[i] = CdAdvice::kNull;
+      }
     }
   }
   world_.world.cm->observe(r, broadcaster_count_);
@@ -258,6 +273,7 @@ void RoundEngine::step() {
     }
   }
   if (!local) commit_crashes(r);
+  counters_.crashes_after_send += crashes_applied_ - crashes_pre_b;
 
   // Record the round.
   if (options_.record_rounds) {

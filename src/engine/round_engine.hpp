@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "multihop/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/execution_log.hpp"
 #include "sim/world.hpp"
 #include "util/rng.hpp"
@@ -134,6 +135,14 @@ class RoundEngine {
   /// budget of the Section 1.1 literature).
   std::uint64_t total_broadcasts() const { return total_broadcasts_; }
 
+  /// Telemetry tallies for this engine's execution so far.  Plain
+  /// engine-local increments (no atomics in the hot loop) and -- like the
+  /// execution itself -- a pure function of the EngineWorld, so counter
+  /// totals are deterministic and shard merges sum them exactly.  Never
+  /// feeds the Aggregator: reports stay byte-identical with telemetry on
+  /// or off.
+  const obs::EngineCounters& counters() const { return counters_; }
+
   /// Last executed round's per-process observations (kLocal diagnostics).
   std::uint32_t last_receive_count(std::size_t i) const {
     return recv_count_[i];
@@ -150,6 +159,7 @@ class RoundEngine {
 
   EngineWorld world_;
   EngineOptions options_;
+  obs::EngineCounters counters_;
   ExecutionLog log_;
   Rng link_rng_;
   Round round_ = 0;

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "exp/flat_json.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ccd::exp {
 
@@ -16,8 +17,22 @@ std::string checkpoint_header(const ShardSpec& shard) {
          fingerprint_to_hex(shard.grid_fingerprint);
   out += "\",\"shard_index\":" + std::to_string(shard.shard_index);
   out += ",\"shard_count\":" + std::to_string(shard.shard_count);
+  out += ",\"ts_ms\":" + std::to_string(obs::wall_clock_ms());
   out += "}";
   return out;
+}
+
+/// Splice heartbeat fields (wall-clock stamp, completing worker) into a
+/// cell marker before its closing brace.  Pure observability: the reader
+/// looks up known keys only, so resume ignores them -- and old checkpoints
+/// without them load the same way.  Replayed cells (rewritten on resume,
+/// not re-executed) carry no worker.
+std::string with_heartbeat(std::string marker, const std::uint32_t* worker) {
+  marker.pop_back();  // cell_aggregate_to_json yields one flat object
+  marker += ",\"ts_ms\":" + std::to_string(obs::wall_clock_ms());
+  if (worker) marker += ",\"worker\":" + std::to_string(*worker);
+  marker += "}";
+  return marker;
 }
 
 /// Parse an existing checkpoint file into completed cell aggregates.
@@ -132,7 +147,8 @@ std::optional<ShardReport> run_shard(const ShardSpec& shard,
     checkpoint << checkpoint_header(shard) << "\n";
     for (const auto& [c, cell] : completed) {
       (void)c;
-      checkpoint << cell_aggregate_to_json(cell) << "\n";
+      checkpoint << with_heartbeat(cell_aggregate_to_json(cell), nullptr)
+                 << "\n";
     }
     checkpoint << std::flush;
   }
@@ -159,8 +175,12 @@ std::optional<ShardReport> run_shard(const ShardSpec& shard,
     if (--pending[c] > 0) return;
     CellAggregate cell = empty_cell_aggregate(shard.grid, c);
     for (const RunRecord* r : slots[c]) accumulate_run(cell, *r);
+    obs::Telemetry::thread_sink().add(obs::Counter::kCellsCompleted, 1);
     if (checkpoint.is_open()) {
-      checkpoint << cell_aggregate_to_json(cell) << "\n" << std::flush;
+      checkpoint << with_heartbeat(cell_aggregate_to_json(cell),
+                                   &record.perf.worker)
+                 << "\n"
+                 << std::flush;
     }
     fresh_cells[c] = std::move(cell);
   };

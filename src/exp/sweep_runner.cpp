@@ -1,8 +1,10 @@
 #include "exp/sweep_runner.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "exp/world_factory.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ccd::exp {
 
@@ -14,8 +16,11 @@ RunRecord run_one(const SweepGrid& grid, std::size_t run_index,
   record.spec = grid.spec_for_run(run_index);
   RunScenarioOptions options;
   options.record_views = record_views;
+  obs::RunTimer timer;
   ScenarioOutcome outcome =
       WorldFactory::run_scenario(record.spec, options);
+  record.perf.wall_ns = timer.elapsed_ns();
+  record.perf.engine = outcome.counters;
   record.summary = std::move(outcome.summary);
   record.mh = std::move(outcome.mh);
   record.sync = outcome.sync;
@@ -32,7 +37,10 @@ std::vector<RunRecord> run_pool(const SweepGrid& grid, std::size_t total,
                                 const SweepOptions& options,
                                 IndexOf index_of) {
   std::vector<RunRecord> records(total);
-  if (total == 0) return records;
+  if (total == 0) {
+    if (options.perf) *options.perf = obs::SweepPerf{};
+    return records;
+  }
 
   unsigned threads = options.threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
@@ -40,28 +48,67 @@ std::vector<RunRecord> run_pool(const SweepGrid& grid, std::size_t total,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, total));
 
+  // One epoch for the whole pool; spans and finish times are offsets into
+  // it, so a Chrome trace of the spans lines workers up on a shared axis.
+  obs::RunTimer epoch;
+  if (options.perf) {
+    *options.perf = obs::SweepPerf{};
+    options.perf->spans.resize(total);
+  }
+  std::vector<std::uint64_t> worker_finish(threads, 0);
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  auto worker = [&] {
+  auto worker = [&](unsigned worker_id) {
+    obs::Telemetry::Sink& sink = obs::Telemetry::thread_sink();
     while (true) {
       const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
-      if (j >= total) return;
+      if (j >= total) break;
+      const std::uint64_t start_ns =
+          options.perf ? epoch.elapsed_ns() : 0;
       records[j] = run_one(grid, index_of(j), options.record_views);
+      records[j].perf.worker = worker_id;
+      sink.add_engine(records[j].perf.engine);
+      sink.add(obs::Counter::kRunsExecuted, 1);
+      if (options.perf) {
+        obs::RunSpan& span = options.perf->spans[j];
+        span.run_index = records[j].run_index;
+        span.cell_index = records[j].cell_index;
+        span.worker = worker_id;
+        span.start_ns = start_ns;
+        span.end_ns = epoch.elapsed_ns();
+      }
       if (options.on_record) options.on_record(records[j]);
       const std::size_t finished =
           done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options.progress) options.progress(finished, total);
     }
+    worker_finish[worker_id] = epoch.elapsed_ns();
   };
 
   if (threads == 1) {
-    worker();
-    return records;
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
   }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+
+  if (options.perf) {
+    obs::SweepPerf& perf = *options.perf;
+    perf.wall_ns = epoch.elapsed_ns();
+    perf.threads = threads;
+    perf.runs = total;
+    const std::uint64_t earliest =
+        *std::min_element(worker_finish.begin(), worker_finish.end());
+    perf.drain_ns = perf.wall_ns > earliest ? perf.wall_ns - earliest : 0;
+    // Slot order makes the counter sum independent of scheduling; the
+    // totals equal any shard partition's totals summed (they are a pure
+    // function of the specs executed).
+    for (const RunRecord& record : records)
+      perf.counters.add(record.perf.engine);
+  }
   return records;
 }
 

@@ -18,8 +18,19 @@
 #include "consensus/harness.hpp"
 #include "exp/sweep_grid.hpp"
 #include "exp/world_factory.hpp"
+#include "obs/perf_sidecar.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ccd::exp {
+
+/// Telemetry measured ABOUT a run -- engine tallies and wall time.  Pure
+/// observation: nothing here reaches the Aggregator or any report writer,
+/// so report bytes are identical whether or not anyone reads it.
+struct RunPerf {
+  obs::EngineCounters engine;  ///< deterministic per spec
+  std::uint64_t wall_ns = 0;   ///< run_one wall time (steady clock)
+  std::uint32_t worker = 0;    ///< pool worker that executed the run
+};
 
 struct RunRecord {
   std::size_t run_index = 0;
@@ -33,6 +44,8 @@ struct RunRecord {
   MultihopSummary mh;
   /// Round-sync metrics; sync.ran is false for every other workload.
   SyncSummary sync;
+  /// Observation sidecar for this run; excluded from all report bytes.
+  RunPerf perf;
 };
 
 struct SweepOptions {
@@ -48,6 +61,11 @@ struct SweepOptions {
   /// Called from worker threads; must be thread-safe.  May be empty.  The
   /// shard runner uses this for per-cell checkpoint markers.
   std::function<void(const RunRecord& record)> on_record;
+  /// When non-null, the pool fills it with per-run spans (slot order),
+  /// per-worker finish times, wall/drain time, and summed engine counters.
+  /// Null keeps the pool free of span bookkeeping.  Never read by any
+  /// report writer -- reports are byte-identical either way.
+  obs::SweepPerf* perf = nullptr;
 };
 
 /// Run the whole grid; returns one record per run, ordered by run_index.

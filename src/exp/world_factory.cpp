@@ -325,7 +325,8 @@ void finish_common(MultihopSummary& out, const RoundEngine& ex) {
 
 MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo,
                           const RunScenarioOptions& options,
-                          std::optional<ExecutionLog>* log_out) {
+                          std::optional<ExecutionLog>* log_out,
+                          obs::EngineCounters* counters_out) {
   MultihopSummary out;
   out.ran = true;
   const std::size_t n = topo.size();
@@ -376,13 +377,15 @@ MultihopSummary run_flood(const ScenarioSpec& spec, Topology topo,
   }
   finish_common(out, ex);
   if (log_out) *log_out = ex.log();
+  if (counters_out) counters_out->add(ex.counters());
   return out;
 }
 
 MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
                               std::vector<bool>* heads_out,
                               const RunScenarioOptions& options,
-                              std::optional<ExecutionLog>* log_out) {
+                              std::optional<ExecutionLog>* log_out,
+                              obs::EngineCounters* counters_out) {
   MultihopSummary out;
   out.ran = true;
   const std::size_t n = topo.size();
@@ -451,6 +454,7 @@ MultihopSummary run_mis_phase(const ScenarioSpec& spec, Topology topo,
   finish_common(out, ex);
   if (heads_out) *heads_out = std::move(heads);
   if (log_out) *log_out = ex.log();
+  if (counters_out) counters_out->add(ex.counters());
   return out;
 }
 
@@ -496,6 +500,7 @@ void run_consensus_on_topology(const ScenarioSpec& spec,
                  : 0.0;
   out.mh.crashes_applied = engine.crashes_applied();
   out.mh.survivors = engine.num_alive();
+  out.counters.add(engine.counters());
   if (options.capture_log) out.log = engine.log();
 }
 
@@ -535,10 +540,12 @@ ScenarioOutcome WorldFactory::run_scenario(const ScenarioSpec& spec,
         eo.record_views = options.record_views;
         if (options.capture_log) {
           ExecutionLog log(0, false);
-          out.summary = run_consensus(make(spec), max_rounds(spec), eo, &log);
+          out.summary = run_consensus(make(spec), max_rounds(spec), eo, &log,
+                                      &out.counters);
           out.log = std::move(log);
         } else {
-          out.summary = run_consensus(make(spec), max_rounds(spec), eo);
+          out.summary = run_consensus(make(spec), max_rounds(spec), eo,
+                                      nullptr, &out.counters);
         }
       } else {
         run_consensus_on_topology(spec, options, out);
@@ -547,18 +554,21 @@ ScenarioOutcome WorldFactory::run_scenario(const ScenarioSpec& spec,
     }
     case WorkloadKind::kFlood: {
       out.mh = run_flood(spec, make_topology(spec), options,
-                         options.capture_log ? &out.log : nullptr);
+                         options.capture_log ? &out.log : nullptr,
+                         &out.counters);
       return out;
     }
     case WorkloadKind::kMis: {
       out.mh = run_mis_phase(spec, make_topology(spec), nullptr, options,
-                             options.capture_log ? &out.log : nullptr);
+                             options.capture_log ? &out.log : nullptr,
+                             &out.counters);
       return out;
     }
     case WorkloadKind::kMisThenConsensus: {
       std::vector<bool> heads;  // surviving heads only (dead heads are out)
       out.mh = run_mis_phase(spec, make_topology(spec), &heads, options,
-                             options.capture_log ? &out.log : nullptr);
+                             options.capture_log ? &out.log : nullptr,
+                             &out.counters);
       std::size_t k = 0;
       for (bool h : heads) k += h;
       if (k > 0) {
@@ -582,10 +592,11 @@ ScenarioOutcome WorldFactory::run_scenario(const ScenarioSpec& spec,
         if (options.capture_log) {
           ExecutionLog log(0, false);
           out.mh.consensus = run_consensus(make(sub), max_rounds(sub), eo,
-                                           &log);
+                                           &log, &out.counters);
           out.phase2_log = std::move(log);
         } else {
-          out.mh.consensus = run_consensus(make(sub), max_rounds(sub), eo);
+          out.mh.consensus = run_consensus(make(sub), max_rounds(sub), eo,
+                                           nullptr, &out.counters);
         }
         out.summary = *out.mh.consensus;
       } else {

@@ -100,6 +100,11 @@ struct RunScenarioOptions {
 /// The unified result of run_scenario: exactly one of the three groups is
 /// primary, but mis-then-consensus fills both summary (its phase 2) and mh.
 struct ScenarioOutcome {
+  /// Engine telemetry tallies summed over every phase the scenario ran
+  /// (mis-then-consensus: MIS phase + phase-2 consensus).  Deterministic
+  /// per spec; round-sync (below the round abstraction) leaves it zero.
+  /// Observation only -- nothing here feeds the Aggregator.
+  obs::EngineCounters counters;
   /// Consensus verdict: the run itself for consensus workloads, phase 2
   /// for mis-then-consensus, default otherwise.
   RunSummary summary;

@@ -1,0 +1,40 @@
+#include "obs/chrome_trace.hpp"
+
+namespace ccd::obs {
+
+std::string sweep_trace_json(const SweepPerf& perf, std::uint64_t shard_index,
+                             std::uint32_t seeds_per_cell) {
+  if (seeds_per_cell == 0) seeds_per_cell = 1;
+  const std::string pid = std::to_string(shard_index);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata: name the process row after the shard and each tid after its
+  // worker slot, so the viewer reads "shard 2 / worker 5", not raw ids.
+  out += "{\"ph\":\"M\",\"pid\":" + pid +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"shard " +
+         pid + "\"}}";
+  first = false;
+  for (std::uint32_t w = 0; w < perf.threads; ++w) {
+    out += ",{\"ph\":\"M\",\"pid\":" + pid + ",\"tid\":" + std::to_string(w) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " +
+           std::to_string(w) + "\"}}";
+  }
+  for (const RunSpan& span : perf.spans) {
+    const std::uint64_t dur_ns =
+        span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"X\",\"cat\":\"run\",\"pid\":" + pid;
+    out += ",\"tid\":" + std::to_string(span.worker);
+    out += ",\"ts\":" + std::to_string(span.start_ns / 1000);
+    out += ",\"dur\":" + std::to_string(dur_ns / 1000);
+    out += ",\"name\":\"cell " + std::to_string(span.cell_index) + " seed " +
+           std::to_string(span.run_index % seeds_per_cell) + "\"";
+    out += ",\"args\":{\"run_index\":" + std::to_string(span.run_index);
+    out += ",\"cell\":" + std::to_string(span.cell_index) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace ccd::obs

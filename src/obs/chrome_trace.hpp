@@ -1,0 +1,27 @@
+// Chrome trace-event export: render a sweep's per-worker run spans as the
+// JSON Object Format that chrome://tracing and Perfetto load directly, so
+// "why is this grid slow" becomes a timeline instead of a guess.
+//
+// Mapping: pid = shard index (one process row per shard when traces from a
+// sharded run are concatenated), tid = worker thread, one complete ("X")
+// event per run named by its cell, with run/cell/seed indices in args.
+// Timestamps are microseconds from the sweep epoch (monotonic clock), so
+// spans from the SAME process align exactly; different shards' epochs are
+// independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/perf_sidecar.hpp"
+
+namespace ccd::obs {
+
+/// Trace-event JSON for one pool execution.  `shard_index` becomes the
+/// pid; pass 0 for single-process sweeps.  `seeds_per_cell` lets event
+/// names carry the seed index (run_index % seeds_per_cell); pass 1 if
+/// unknown.
+std::string sweep_trace_json(const SweepPerf& perf, std::uint64_t shard_index,
+                             std::uint32_t seeds_per_cell);
+
+}  // namespace ccd::obs

@@ -1,0 +1,337 @@
+#include "obs/perf_sidecar.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "exp/flat_json.hpp"
+
+namespace ccd::obs {
+
+namespace {
+
+namespace jsonu = ccd::exp::jsonu;
+
+// Same 16-hex-digit rendering exp/shard uses for grid fingerprints, kept
+// local so obs/ does not depend on the shard layer.
+std::string fp_to_hex(std::uint64_t fp) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[fp & 0xf];
+    fp >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> fp_from_hex(const std::string& s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t fp = 0;
+  for (char c : s) {
+    fp <<= 4;
+    if (c >= '0' && c <= '9') fp |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') fp |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return fp;
+}
+
+bool parse_u64(const std::string& raw, std::uint64_t& out) {
+  if (raw.empty() || raw[0] == '-') return false;
+  char* end = nullptr;
+  out = std::strtoull(raw.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+/// Fetch member `key` of `flat` as a u64 into `out`; keyed error otherwise.
+bool need_u64(const jsonu::FlatJson& flat, const char* key, std::uint64_t& out,
+              std::string* error, const char* where) {
+  const std::string* raw = flat.find(key);
+  if (!raw) {
+    if (error) {
+      *error = std::string(where) + " missing key '" + key + "'";
+    }
+    return false;
+  }
+  if (!parse_u64(*raw, out)) {
+    if (error) {
+      *error = std::string("bad value '") + *raw + "' for key '" + key +
+               "' in " + where;
+    }
+    return false;
+  }
+  return true;
+}
+
+void append_counters(std::string& out, const EngineCounters& counters) {
+  out += "{";
+  bool first = true;
+  for (const EngineCounterField& f : kEngineCounterFields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += f.key;
+    out += "\":" + std::to_string(counters.*(f.member));
+  }
+  out += "}";
+}
+
+bool parse_counters(const std::string& raw, EngineCounters& counters,
+                    std::string* error) {
+  auto flat = jsonu::FlatJson::parse(raw);
+  if (!flat) {
+    if (error) *error = "'counters' is not a flat JSON object";
+    return false;
+  }
+  for (const EngineCounterField& f : kEngineCounterFields) {
+    std::uint64_t v = 0;
+    if (!need_u64(*flat, f.key, v, error, "'counters'")) return false;
+    counters.*(f.member) = v;
+  }
+  return true;
+}
+
+/// Nearest-rank percentile over a sorted duration buffer; p in [0, 100].
+std::uint64_t percentile_ns(const std::vector<std::uint64_t>& sorted,
+                            double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t k = static_cast<std::size_t>(rank);
+  if (static_cast<double>(k) < rank) ++k;  // ceil
+  if (k == 0) k = 1;
+  if (k > sorted.size()) k = sorted.size();
+  return sorted[k - 1];
+}
+
+}  // namespace
+
+std::string PerfSidecar::to_json() const {
+  std::string out = "{\"format\":\"ccd-perf-sidecar-v1\"";
+  out += ",\"grid_fingerprint\":\"" + fp_to_hex(grid_fingerprint) + "\"";
+  out += ",\"runs\":" + std::to_string(runs);
+  out += ",\"counters\":";
+  append_counters(out, counters);
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const PerfShardExec& s = shards[i];
+    if (i > 0) out += ",";
+    out += "{\"shard_index\":" + std::to_string(s.shard_index);
+    out += ",\"shard_count\":" + std::to_string(s.shard_count);
+    out += ",\"wall_ns\":" + std::to_string(s.wall_ns);
+    out += ",\"drain_ns\":" + std::to_string(s.drain_ns);
+    out += ",\"threads\":" + std::to_string(s.threads);
+    out += ",\"runs\":" + std::to_string(s.runs);
+    out += ",\"workers\":[";
+    for (std::size_t w = 0; w < s.workers.size(); ++w) {
+      if (w > 0) out += ",";
+      out += "{\"worker\":" + std::to_string(s.workers[w].worker);
+      out += ",\"busy_ns\":" + std::to_string(s.workers[w].busy_ns);
+      out += ",\"runs\":" + std::to_string(s.workers[w].runs) + "}";
+    }
+    out += "]}";
+  }
+  out += "],\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const PerfCell& c = cells[i];
+    if (i > 0) out += ",";
+    out += "{\"cell\":" + std::to_string(c.cell_index);
+    out += ",\"runs\":" + std::to_string(c.runs);
+    out += ",\"total_ns\":" + std::to_string(c.total_ns);
+    out += ",\"min_ns\":" + std::to_string(c.min_ns);
+    out += ",\"max_ns\":" + std::to_string(c.max_ns);
+    out += ",\"p50_ns\":" + std::to_string(c.p50_ns);
+    out += ",\"p95_ns\":" + std::to_string(c.p95_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<PerfSidecar> PerfSidecar::from_json(const std::string& json,
+                                                  std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<PerfSidecar> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  auto flat = jsonu::FlatJson::parse(json);
+  if (!flat) return fail("perf sidecar is not a flat JSON object");
+  const std::string* format = flat->find("format");
+  if (!format || *format != "ccd-perf-sidecar-v1") {
+    return fail(
+        "missing or unknown \"format\" (expected ccd-perf-sidecar-v1)");
+  }
+
+  PerfSidecar sidecar;
+  const std::string* fp_raw = flat->find("grid_fingerprint");
+  if (!fp_raw) return fail("missing key 'grid_fingerprint'");
+  auto fp = fp_from_hex(*fp_raw);
+  if (!fp) {
+    return fail("bad value '" + *fp_raw + "' for key 'grid_fingerprint'");
+  }
+  sidecar.grid_fingerprint = *fp;
+  if (!need_u64(*flat, "runs", sidecar.runs, error, "perf sidecar")) {
+    return std::nullopt;
+  }
+  const std::string* counters_raw = flat->find("counters");
+  if (!counters_raw) return fail("missing key 'counters'");
+  if (!parse_counters(*counters_raw, sidecar.counters, error)) {
+    return std::nullopt;
+  }
+
+  const std::string* shards_raw = flat->find("shards");
+  if (!shards_raw) return fail("missing key 'shards'");
+  auto shard_items = jsonu::parse_array_items(*shards_raw);
+  if (!shard_items) return fail("'shards' is not a JSON array");
+  for (std::size_t i = 0; i < shard_items->size(); ++i) {
+    const std::string where = "shards[" + std::to_string(i) + "]";
+    auto sf = jsonu::FlatJson::parse((*shard_items)[i]);
+    if (!sf) return fail(where + " is not a flat JSON object");
+    PerfShardExec s;
+    std::uint64_t threads = 0;
+    if (!need_u64(*sf, "shard_index", s.shard_index, error, where.c_str()) ||
+        !need_u64(*sf, "shard_count", s.shard_count, error, where.c_str()) ||
+        !need_u64(*sf, "wall_ns", s.wall_ns, error, where.c_str()) ||
+        !need_u64(*sf, "drain_ns", s.drain_ns, error, where.c_str()) ||
+        !need_u64(*sf, "threads", threads, error, where.c_str()) ||
+        !need_u64(*sf, "runs", s.runs, error, where.c_str())) {
+      return std::nullopt;
+    }
+    s.threads = static_cast<std::uint32_t>(threads);
+    const std::string* workers_raw = sf->find("workers");
+    if (!workers_raw) return fail(where + " missing key 'workers'");
+    auto worker_items = jsonu::parse_array_items(*workers_raw);
+    if (!worker_items) return fail(where + ".workers is not a JSON array");
+    for (std::size_t w = 0; w < worker_items->size(); ++w) {
+      const std::string wwhere = where + ".workers[" + std::to_string(w) + "]";
+      auto wf = jsonu::FlatJson::parse((*worker_items)[w]);
+      if (!wf) return fail(wwhere + " is not a flat JSON object");
+      PerfWorker pw;
+      std::uint64_t id = 0;
+      if (!need_u64(*wf, "worker", id, error, wwhere.c_str()) ||
+          !need_u64(*wf, "busy_ns", pw.busy_ns, error, wwhere.c_str()) ||
+          !need_u64(*wf, "runs", pw.runs, error, wwhere.c_str())) {
+        return std::nullopt;
+      }
+      pw.worker = static_cast<std::uint32_t>(id);
+      s.workers.push_back(pw);
+    }
+    sidecar.shards.push_back(std::move(s));
+  }
+
+  const std::string* cells_raw = flat->find("cells");
+  if (!cells_raw) return fail("missing key 'cells'");
+  auto cell_items = jsonu::parse_array_items(*cells_raw);
+  if (!cell_items) return fail("'cells' is not a JSON array");
+  for (std::size_t i = 0; i < cell_items->size(); ++i) {
+    const std::string where = "cells[" + std::to_string(i) + "]";
+    auto cf = jsonu::FlatJson::parse((*cell_items)[i]);
+    if (!cf) return fail(where + " is not a flat JSON object");
+    PerfCell c;
+    if (!need_u64(*cf, "cell", c.cell_index, error, where.c_str()) ||
+        !need_u64(*cf, "runs", c.runs, error, where.c_str()) ||
+        !need_u64(*cf, "total_ns", c.total_ns, error, where.c_str()) ||
+        !need_u64(*cf, "min_ns", c.min_ns, error, where.c_str()) ||
+        !need_u64(*cf, "max_ns", c.max_ns, error, where.c_str()) ||
+        !need_u64(*cf, "p50_ns", c.p50_ns, error, where.c_str()) ||
+        !need_u64(*cf, "p95_ns", c.p95_ns, error, where.c_str())) {
+      return std::nullopt;
+    }
+    sidecar.cells.push_back(c);
+  }
+  return sidecar;
+}
+
+PerfSidecar build_perf_sidecar(std::uint64_t grid_fingerprint,
+                               std::uint64_t shard_index,
+                               std::uint64_t shard_count,
+                               const SweepPerf& perf) {
+  PerfSidecar sidecar;
+  sidecar.grid_fingerprint = grid_fingerprint;
+  sidecar.runs = perf.runs;
+  sidecar.counters = perf.counters;
+
+  PerfShardExec shard;
+  shard.shard_index = shard_index;
+  shard.shard_count = shard_count;
+  shard.wall_ns = perf.wall_ns;
+  shard.drain_ns = perf.drain_ns;
+  shard.threads = perf.threads;
+  shard.runs = perf.runs;
+  std::vector<PerfWorker> workers(perf.threads);
+  for (std::uint32_t w = 0; w < perf.threads; ++w) workers[w].worker = w;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> by_cell;
+  for (const RunSpan& span : perf.spans) {
+    const std::uint64_t dur =
+        span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+    if (span.worker < workers.size()) {
+      workers[span.worker].busy_ns += dur;
+      ++workers[span.worker].runs;
+    }
+    by_cell[span.cell_index].push_back(dur);
+  }
+  shard.workers = std::move(workers);
+  sidecar.shards.push_back(std::move(shard));
+
+  for (auto& [cell_index, durations] : by_cell) {
+    std::sort(durations.begin(), durations.end());
+    PerfCell cell;
+    cell.cell_index = cell_index;
+    cell.runs = durations.size();
+    for (std::uint64_t d : durations) cell.total_ns += d;
+    cell.min_ns = durations.front();
+    cell.max_ns = durations.back();
+    cell.p50_ns = percentile_ns(durations, 50.0);
+    cell.p95_ns = percentile_ns(durations, 95.0);
+    sidecar.cells.push_back(cell);
+  }
+  return sidecar;
+}
+
+std::optional<PerfSidecar> merge_perf_sidecars(
+    const std::vector<PerfSidecar>& sidecars, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<PerfSidecar> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  if (sidecars.empty()) return fail("no perf sidecars to merge");
+
+  PerfSidecar merged;
+  merged.grid_fingerprint = sidecars.front().grid_fingerprint;
+  std::map<std::uint64_t, std::uint64_t> cell_owner;  // cell -> sidecar idx
+  for (std::size_t i = 0; i < sidecars.size(); ++i) {
+    const PerfSidecar& s = sidecars[i];
+    if (s.grid_fingerprint != merged.grid_fingerprint) {
+      return fail("grid fingerprint mismatch: sidecar 0 is for grid " +
+                  fp_to_hex(merged.grid_fingerprint) + " but sidecar " +
+                  std::to_string(i) + " for grid " +
+                  fp_to_hex(s.grid_fingerprint) +
+                  " (sidecars from different grids cannot merge)");
+    }
+    merged.runs += s.runs;
+    merged.counters.add(s.counters);
+    for (const PerfShardExec& shard : s.shards) {
+      merged.shards.push_back(shard);
+    }
+    for (const PerfCell& cell : s.cells) {
+      auto [it, inserted] = cell_owner.emplace(cell.cell_index, i);
+      if (!inserted) {
+        return fail("duplicate cell " + std::to_string(cell.cell_index) +
+                    ": timed by both sidecar " + std::to_string(it->second) +
+                    " and sidecar " + std::to_string(i));
+      }
+      merged.cells.push_back(cell);
+    }
+  }
+  std::sort(merged.shards.begin(), merged.shards.end(),
+            [](const PerfShardExec& a, const PerfShardExec& b) {
+              return a.shard_count != b.shard_count
+                         ? a.shard_count < b.shard_count
+                         : a.shard_index < b.shard_index;
+            });
+  std::sort(merged.cells.begin(), merged.cells.end(),
+            [](const PerfCell& a, const PerfCell& b) {
+              return a.cell_index < b.cell_index;
+            });
+  return merged;
+}
+
+}  // namespace ccd::obs

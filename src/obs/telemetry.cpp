@@ -1,0 +1,95 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+
+namespace ccd::obs {
+
+void EngineCounters::add(const EngineCounters& other) {
+  for (const EngineCounterField& f : kEngineCounterFields) {
+    this->*(f.member) += other.*(f.member);
+  }
+}
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kRunsExecuted: return "runs_executed";
+    case Counter::kCellsCompleted: return "cells_completed";
+    case Counter::kRoundsExecuted: return "rounds_executed";
+    case Counter::kMessagesSent: return "messages_sent";
+    case Counter::kMessagesDelivered: return "messages_delivered";
+    case Counter::kCollisions: return "collisions";
+    case Counter::kCrashesBeforeSend: return "crashes_before_send";
+    case Counter::kCrashesAfterSend: return "crashes_after_send";
+    case Counter::kCmAdviceCalls: return "cm_advice_calls";
+    case Counter::kCdAdviceCalls: return "cd_advice_calls";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+void Telemetry::Sink::add_engine(const EngineCounters& ec) {
+  add(Counter::kRoundsExecuted, ec.rounds);
+  add(Counter::kMessagesSent, ec.messages_sent);
+  add(Counter::kMessagesDelivered, ec.messages_delivered);
+  add(Counter::kCollisions, ec.collisions);
+  add(Counter::kCrashesBeforeSend, ec.crashes_before_send);
+  add(Counter::kCrashesAfterSend, ec.crashes_after_send);
+  add(Counter::kCmAdviceCalls, ec.cm_advice_calls);
+  add(Counter::kCdAdviceCalls, ec.cd_advice_calls);
+}
+
+Telemetry::Sink& Telemetry::create_sink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::make_unique<Sink>());
+  return *sinks_.back();
+}
+
+std::array<std::uint64_t, kNumCounters> Telemetry::totals() const {
+  std::array<std::uint64_t, kNumCounters> out{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sink : sinks_) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      out[i] += sink->slots_[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Telemetry::total(Counter c) const {
+  return totals()[static_cast<std::size_t>(c)];
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sink : sinks_) {
+    for (auto& slot : sink->slots_) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Telemetry& Telemetry::global() {
+  static Telemetry instance;
+  return instance;
+}
+
+Telemetry::Sink& Telemetry::thread_sink() {
+  thread_local Sink* sink = &global().create_sink();
+  return *sink;
+}
+
+std::uint64_t RunTimer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t wall_clock_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ccd::obs

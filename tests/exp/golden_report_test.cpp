@@ -12,11 +12,14 @@
 // and FNV-1a-64 the files (same function as SweepGrid::fingerprint).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 
 #include "exp/aggregator.hpp"
 #include "exp/sweep_grid.hpp"
 #include "exp/sweep_runner.hpp"
+#include "obs/perf_sidecar.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ccd::exp {
 namespace {
@@ -57,6 +60,65 @@ TEST(GoldenReports, EngineReproducesPreRefactorReportsByteIdentically) {
   }
 }
 
+TEST(GoldenReports, TelemetryNeverPerturbsReportBytes) {
+  // The obs/ subsystem's one hard invariant, pinned against the SAME
+  // golden hashes: running with telemetry fully enabled (SweepPerf span
+  // collection, progress callbacks firing, per-thread sinks accumulating)
+  // must reproduce the telemetry-off report bytes exactly.
+  obs::Telemetry::global().reset();
+  for (const Golden& golden : kGoldens) {
+    auto grid = SweepGrid::named(golden.grid);
+    ASSERT_TRUE(grid.has_value()) << golden.grid;
+    obs::SweepPerf perf;
+    std::atomic<std::size_t> progress_calls{0};
+    SweepOptions options;
+    options.threads = 4;
+    options.perf = &perf;
+    options.progress = [&progress_calls](std::size_t, std::size_t) {
+      progress_calls.fetch_add(1, std::memory_order_relaxed);
+    };
+    const auto cells = aggregate(*grid, run_sweep(*grid, options));
+    EXPECT_EQ(fnv1a(aggregates_to_json(*grid, cells)), golden.json_hash)
+        << golden.grid << ".json perturbed by telemetry";
+    EXPECT_EQ(fnv1a(aggregates_to_csv(cells)), golden.csv_hash)
+        << golden.grid << ".csv perturbed by telemetry";
+
+    // ...and telemetry actually observed the execution: every run timed
+    // and attributed, counters live, progress fired once per run.
+    EXPECT_EQ(perf.runs, grid->num_runs());
+    EXPECT_EQ(perf.spans.size(), grid->num_runs());
+    EXPECT_GT(perf.wall_ns, 0u);
+    EXPECT_GT(perf.counters.rounds, 0u);
+    EXPECT_EQ(progress_calls.load(), grid->num_runs());
+    const obs::PerfSidecar sidecar =
+        obs::build_perf_sidecar(grid->fingerprint(), 0, 1, perf);
+    EXPECT_EQ(sidecar.cells.size(), grid->num_cells());
+  }
+  EXPECT_GE(obs::Telemetry::global().total(obs::Counter::kRunsExecuted),
+            SweepGrid::named("smoke")->num_runs());
+  obs::Telemetry::global().reset();
+}
+
+TEST(GoldenReports, EngineCountersAreThreadAndScheduleInvariant) {
+  // Counters are a pure function of the specs executed, so the SweepPerf
+  // totals -- unlike any timing number -- are identical at any thread
+  // count.  This is what makes shard-merged counter sums exact.
+  auto grid = SweepGrid::named("smoke");
+  ASSERT_TRUE(grid.has_value());
+  obs::SweepPerf one_perf, eight_perf;
+  SweepOptions one;
+  one.threads = 1;
+  one.perf = &one_perf;
+  run_sweep(*grid, one);
+  SweepOptions eight;
+  eight.threads = 8;
+  eight.perf = &eight_perf;
+  run_sweep(*grid, eight);
+  EXPECT_EQ(one_perf.counters, eight_perf.counters);
+  EXPECT_GT(one_perf.counters.messages_sent, 0u);
+  EXPECT_GT(one_perf.counters.cd_advice_calls, 0u);
+}
+
 TEST(GoldenReports, LossOnTopologyGridIsThreadInvariant) {
   // The unification's NEW composition -- consensus with loss != none over
   // non-clique topologies -- must satisfy the same determinism contract as
@@ -71,6 +133,8 @@ TEST(GoldenReports, LossOnTopologyGridIsThreadInvariant) {
       aggregates_to_json(*grid, aggregate(*grid, run_sweep(*grid, one)));
   SweepOptions eight;
   eight.threads = 8;
+  obs::SweepPerf perf;  // telemetry on for the parallel leg: same bytes
+  eight.perf = &perf;
   const auto parallel =
       aggregates_to_json(*grid, aggregate(*grid, run_sweep(*grid, eight)));
   EXPECT_EQ(baseline, parallel);

@@ -5,6 +5,7 @@
 // (432 cells) reproduces the single-process JSON and CSV BYTE-identically.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -16,6 +17,7 @@
 #include "exp/shard/shard_runner.hpp"
 #include "exp/sweep_grid.hpp"
 #include "exp/sweep_runner.hpp"
+#include "obs/perf_sidecar.hpp"
 #include "util/stats.hpp"
 
 namespace ccd::exp {
@@ -307,6 +309,153 @@ TEST(ShardCheckpoint, ResumeAfterTruncationReproducesTheReport) {
   EXPECT_FALSE(foreign.has_value());
   EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
   std::remove(path.c_str());
+}
+
+// Strip a heartbeat field (",\"key\":<digits>") everywhere -- fabricates a
+// checkpoint written by the pre-telemetry format.
+std::string strip_field(std::string text, const std::string& key) {
+  const std::string needle = ",\"" + key + "\":";
+  std::size_t at;
+  while ((at = text.find(needle)) != std::string::npos) {
+    std::size_t end = at + needle.size();
+    while (end < text.size() && std::isdigit(text[end])) ++end;
+    text.erase(at, end - at);
+  }
+  return text;
+}
+
+TEST(ShardCheckpoint, HeartbeatFieldsStampedAndIgnoredOnResume) {
+  const SweepGrid grid = small_grid();
+  const ShardSpec spec = ShardPlanner::plan(grid, 2,
+                                            ShardMode::kContiguous)[0];
+  const std::string path = "shard_merge_test_heartbeat.ckpt";
+  ShardRunOptions options;
+  options.checkpoint_path = path;
+  std::string error;
+  auto clean = run_shard(spec, options, &error);
+  ASSERT_TRUE(clean.has_value()) << error;
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 2u);
+  // Header and every cell marker carry a wall-clock heartbeat; executed
+  // cell markers also name the worker that completed them.
+  EXPECT_NE(lines[0].find("\"ts_ms\":"), std::string::npos) << lines[0];
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"ts_ms\":"), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find("\"worker\":"), std::string::npos) << lines[i];
+  }
+
+  // Resume reads PAST the heartbeat fields: everything already complete,
+  // so the resumed report is byte-identical and nothing re-executes.
+  options.resume = true;
+  auto resumed = run_shard(spec, options, &error);
+  ASSERT_TRUE(resumed.has_value()) << error;
+  EXPECT_EQ(resumed->to_json(), clean->to_json());
+
+  // Rewritten (replayed) markers still carry ts_ms; worker is absent
+  // because no worker executed them this time.
+  {
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+      EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos) << line;
+      EXPECT_EQ(line.find("\"worker\":"), std::string::npos) << line;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardCheckpoint, OldFormatCheckpointWithoutHeartbeatResumesCleanly) {
+  // Forward compatibility satellite: a checkpoint written BEFORE the
+  // heartbeat fields existed (no ts_ms, no worker anywhere) must resume
+  // exactly as a fresh one does -- the fields are optional on read.
+  const SweepGrid grid = small_grid();
+  const ShardSpec spec = ShardPlanner::plan(grid, 2,
+                                            ShardMode::kContiguous)[0];
+  const std::string path = "shard_merge_test_oldformat.ckpt";
+  ShardRunOptions options;
+  options.checkpoint_path = path;
+  std::string error;
+  auto clean = run_shard(spec, options, &error);
+  ASSERT_TRUE(clean.has_value()) << error;
+
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  const std::string old_format =
+      strip_field(strip_field(text, "ts_ms"), "worker");
+  ASSERT_NE(old_format, text);  // the strip actually removed fields
+  ASSERT_EQ(old_format.find("ts_ms"), std::string::npos);
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << old_format;
+  }
+
+  options.resume = true;
+  auto resumed = run_shard(spec, options, &error);
+  ASSERT_TRUE(resumed.has_value()) << error;
+  EXPECT_EQ(resumed->to_json(), clean->to_json());
+  std::remove(path.c_str());
+}
+
+// ---- perf sidecar sharding ------------------------------------------------
+
+TEST(PerfSidecarShards, FourShardMergeSumsToSingleProcessCounters) {
+  // The sidecar acceptance criterion: a 4-shard split's merged sidecar has
+  // counter totals EQUAL to the single-process sidecar's (determinism makes
+  // the sum exact), covers every cell exactly once, and round-trips its
+  // merge through JSON the way ccd_merge --perf does.
+  const SweepGrid grid = small_grid();
+
+  obs::SweepPerf full_perf;
+  SweepOptions full_options;
+  full_options.threads = 2;
+  full_options.perf = &full_perf;
+  run_sweep(grid, full_options);
+  const obs::PerfSidecar full_sidecar =
+      obs::build_perf_sidecar(grid.fingerprint(), 0, 1, full_perf);
+  EXPECT_EQ(full_sidecar.cells.size(), grid.num_cells());
+
+  std::vector<obs::PerfSidecar> sidecars;
+  for (const ShardSpec& spec : ShardPlanner::plan(grid, 4,
+                                                  ShardMode::kStrided)) {
+    obs::SweepPerf perf;
+    ShardRunOptions options;
+    options.sweep.threads = 2;
+    options.sweep.perf = &perf;
+    std::string error;
+    ASSERT_TRUE(run_shard(spec, options, &error).has_value()) << error;
+    const obs::PerfSidecar sidecar = obs::build_perf_sidecar(
+        spec.grid_fingerprint, spec.shard_index, spec.shard_count, perf);
+    std::string parse_error;
+    auto round_tripped =
+        obs::PerfSidecar::from_json(sidecar.to_json(), &parse_error);
+    ASSERT_TRUE(round_tripped.has_value()) << parse_error;
+    sidecars.push_back(std::move(*round_tripped));
+  }
+
+  std::string error;
+  auto merged = obs::merge_perf_sidecars(sidecars, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(merged->grid_fingerprint, grid.fingerprint());
+  EXPECT_EQ(merged->runs, full_sidecar.runs);
+  EXPECT_EQ(merged->counters, full_sidecar.counters);  // exact, not near
+  EXPECT_GT(merged->counters.rounds, 0u);
+  ASSERT_EQ(merged->shards.size(), 4u);
+  ASSERT_EQ(merged->cells.size(), grid.num_cells());
+  for (std::size_t c = 0; c < merged->cells.size(); ++c) {
+    EXPECT_EQ(merged->cells[c].cell_index, c);
+    EXPECT_EQ(merged->cells[c].runs, grid.seeds_per_cell);
+  }
 }
 
 // ---- the headline guarantee ----------------------------------------------

@@ -1,0 +1,106 @@
+// Telemetry registry tests: per-thread sinks accumulate without losing
+// counts across concurrent writers, totals merge all sinks (including
+// those of exited threads), reset zeroes everything, and the RunTimer is
+// monotonic.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace ccd::obs {
+namespace {
+
+TEST(EngineCountersTest, AddAccumulatesEveryField) {
+  EngineCounters a;
+  a.rounds = 1;
+  a.messages_sent = 2;
+  a.messages_delivered = 3;
+  a.collisions = 4;
+  a.crashes_before_send = 5;
+  a.crashes_after_send = 6;
+  a.cm_advice_calls = 7;
+  a.cd_advice_calls = 8;
+  EngineCounters b = a;
+  b.add(a);
+  EXPECT_EQ(b.rounds, 2u);
+  EXPECT_EQ(b.messages_sent, 4u);
+  EXPECT_EQ(b.messages_delivered, 6u);
+  EXPECT_EQ(b.collisions, 8u);
+  EXPECT_EQ(b.crashes_before_send, 10u);
+  EXPECT_EQ(b.crashes_after_send, 12u);
+  EXPECT_EQ(b.cm_advice_calls, 14u);
+  EXPECT_EQ(b.cd_advice_calls, 16u);
+}
+
+TEST(EngineCountersTest, FieldTableCoversEveryMember) {
+  // The JSON writers iterate kEngineCounterFields; a field added to the
+  // struct but not the table would silently vanish from every sidecar.
+  EngineCounters c;
+  for (const EngineCounterField& f : kEngineCounterFields) {
+    c.*(f.member) = 1;
+  }
+  EngineCounters expect;
+  expect.rounds = expect.messages_sent = expect.messages_delivered = 1;
+  expect.collisions = 1;
+  expect.crashes_before_send = expect.crashes_after_send = 1;
+  expect.cm_advice_calls = expect.cd_advice_calls = 1;
+  EXPECT_EQ(c, expect);
+}
+
+TEST(TelemetryTest, SinksSumAcrossThreads) {
+  Telemetry telemetry;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&telemetry] {
+      Telemetry::Sink& sink = telemetry.create_sink();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        sink.add(Counter::kRunsExecuted, 1);
+      }
+      EngineCounters ec;
+      ec.rounds = 3;
+      sink.add_engine(ec);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  // Counts survive thread exit: sinks are owned by the registry.
+  EXPECT_EQ(telemetry.total(Counter::kRunsExecuted), kThreads * kPerThread);
+  EXPECT_EQ(telemetry.total(Counter::kRoundsExecuted), kThreads * 3u);
+}
+
+TEST(TelemetryTest, ResetZeroesAllSinks) {
+  Telemetry telemetry;
+  Telemetry::Sink& sink = telemetry.create_sink();
+  sink.add(Counter::kCellsCompleted, 42);
+  EXPECT_EQ(telemetry.total(Counter::kCellsCompleted), 42u);
+  telemetry.reset();
+  EXPECT_EQ(telemetry.total(Counter::kCellsCompleted), 0u);
+  sink.add(Counter::kCellsCompleted, 1);  // sinks stay usable after reset
+  EXPECT_EQ(telemetry.total(Counter::kCellsCompleted), 1u);
+}
+
+TEST(TelemetryTest, ThreadSinkReachesGlobalRegistry) {
+  Telemetry::global().reset();
+  Telemetry::thread_sink().add(Counter::kRunsExecuted, 5);
+  EXPECT_GE(Telemetry::global().total(Counter::kRunsExecuted), 5u);
+  Telemetry::global().reset();
+}
+
+TEST(RunTimerTest, MonotonicAndRestartable) {
+  RunTimer timer;
+  const std::uint64_t a = timer.elapsed_ns();
+  const std::uint64_t b = timer.elapsed_ns();
+  EXPECT_GE(b, a);
+  timer.restart();
+  // A restarted timer measures from now, not process start: a fresh
+  // reading cannot exceed the pre-restart total plus the time this test
+  // itself burned -- in particular it must be small, not cumulative.
+  EXPECT_LT(timer.elapsed_ns(), 1'000'000'000ull);
+  EXPECT_GT(RunTimer::now_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace ccd::obs

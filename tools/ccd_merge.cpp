@@ -24,6 +24,7 @@
 
 #include "exp/aggregator.hpp"
 #include "exp/shard/shard_report.hpp"
+#include "obs/perf_sidecar.hpp"
 
 namespace {
 
@@ -40,7 +41,13 @@ single-process run of the same grid.
 options:
   --json PATH          write the merged aggregate JSON report
   --csv PATH           write the merged per-cell CSV
+  --perf FILE          perf sidecar from one shard (repeatable); counter
+                       totals SUM exactly, cell timings union disjointly
+  --perf-out PATH      write the merged perf sidecar (needs --perf)
   --quiet              suppress the ASCII summary
+
+Report merging and perf-sidecar merging are independent: either may run
+alone, and neither changes a byte of the other's output.
 )");
 }
 
@@ -66,9 +73,10 @@ bool write_file(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path, csv_path;
+  std::string json_path, csv_path, perf_out_path;
   bool quiet = false;
   std::vector<std::string> inputs;
+  std::vector<std::string> perf_inputs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -76,12 +84,22 @@ int main(int argc, char** argv) {
       usage(stdout);
       return 0;
     }
-    if (flag == "--json" || flag == "--csv") {
+    if (flag == "--json" || flag == "--csv" || flag == "--perf" ||
+        flag == "--perf-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "ccd_merge: %s needs a value\n", flag.c_str());
         return 2;
       }
-      (flag == "--json" ? json_path : csv_path) = argv[++i];
+      const char* value = argv[++i];
+      if (flag == "--json") {
+        json_path = value;
+      } else if (flag == "--csv") {
+        csv_path = value;
+      } else if (flag == "--perf") {
+        perf_inputs.push_back(value);
+      } else {
+        perf_out_path = value;
+      }
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (!flag.empty() && flag[0] == '-') {
@@ -92,10 +110,63 @@ int main(int argc, char** argv) {
       inputs.push_back(flag);
     }
   }
-  if (inputs.empty()) {
-    std::fprintf(stderr, "ccd_merge: no shard report files given\n");
+  if (inputs.empty() && perf_inputs.empty()) {
+    std::fprintf(stderr,
+                 "ccd_merge: no shard report or --perf sidecar files given\n");
     usage(stderr);
     return 2;
+  }
+  if (!perf_out_path.empty() && perf_inputs.empty()) {
+    std::fprintf(stderr, "ccd_merge: --perf-out needs --perf FILE inputs\n");
+    return 2;
+  }
+  if (inputs.empty() && (!json_path.empty() || !csv_path.empty())) {
+    std::fprintf(stderr,
+                 "ccd_merge: --json/--csv merge shard REPORTS; none were "
+                 "given\n");
+    return 2;
+  }
+
+  // Perf sidecars first: they are pure observation, so a failure here
+  // never blocks the report merge -- but a malformed sidecar is still a
+  // hard error, not a shrug.
+  std::optional<obs::PerfSidecar> merged_perf;
+  if (!perf_inputs.empty()) {
+    std::vector<obs::PerfSidecar> sidecars;
+    sidecars.reserve(perf_inputs.size());
+    for (const std::string& path : perf_inputs) {
+      std::string text;
+      if (!read_file(path, text)) {
+        std::fprintf(stderr, "ccd_merge: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      std::string error;
+      auto sidecar = obs::PerfSidecar::from_json(text, &error);
+      if (!sidecar) {
+        std::fprintf(stderr, "ccd_merge: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      sidecars.push_back(std::move(*sidecar));
+    }
+    std::string error;
+    merged_perf = obs::merge_perf_sidecars(sidecars, &error);
+    if (!merged_perf) {
+      std::fprintf(stderr, "ccd_merge: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  if (inputs.empty()) {
+    if (!quiet) {
+      std::fprintf(stderr, "ccd_merge: %zu perf sidecars -> %zu cells\n",
+                   perf_inputs.size(), merged_perf->cells.size());
+    }
+    if (!perf_out_path.empty() &&
+        !write_file(perf_out_path, merged_perf->to_json() + "\n")) {
+      return 1;
+    }
+    return 0;
   }
 
   std::vector<ShardReport> reports;
@@ -123,6 +194,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // When both report shards and perf sidecars are on the table, they must
+  // describe the same grid.
+  if (merged_perf &&
+      merged_perf->grid_fingerprint != merged->grid.fingerprint()) {
+    std::fprintf(stderr,
+                 "ccd_merge: perf sidecars describe a different grid than "
+                 "the shard reports (fingerprint mismatch)\n");
+    return 2;
+  }
+
   if (!quiet) {
     std::fprintf(stderr, "ccd_merge: %zu shard reports -> %zu cells\n",
                  reports.size(), merged->cells.size());
@@ -135,6 +216,10 @@ int main(int argc, char** argv) {
   }
   if (!csv_path.empty() &&
       !write_file(csv_path, aggregates_to_csv(merged->cells))) {
+    return 1;
+  }
+  if (merged_perf && !perf_out_path.empty() &&
+      !write_file(perf_out_path, merged_perf->to_json() + "\n")) {
     return 1;
   }
   return 0;

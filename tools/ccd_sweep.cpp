@@ -21,6 +21,9 @@
 //   ccd_sweep --shard-file shards/mh-0-of-4.json --json part-0.json
 //   ccd_sweep --grid multihop --shard 1/4 --json part-1.json
 //             --checkpoint part-1.ckpt          # resumable with --resume
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +39,9 @@
 #include "exp/sweep_grid.hpp"
 #include "exp/sweep_runner.hpp"
 #include "exp/trace_capture.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/perf_sidecar.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -89,7 +95,17 @@ execution and output:
   --threads N          worker threads (0 = hardware concurrency; default 0)
   --json PATH          write aggregate JSON report
   --csv PATH           write per-cell CSV
-  --quiet              suppress the ASCII summary
+  --quiet              suppress the ASCII summary and the live progress line
+
+observability (never changes report bytes; reports are byte-identical
+with or without these):
+  --perf-out PATH      write a perf sidecar JSON: per-cell run-time
+                       percentiles, engine counter totals, per-worker
+                       utilization and queue-drain time
+  --trace-out PATH     write a Chrome trace-event JSON of per-run worker
+                       spans (open in chrome://tracing or ui.perfetto.dev)
+  --bench-out PATH     write a sweep-throughput benchmark JSON (runs/sec,
+                       rounds/sec); full-run mode only
 
 sharded execution (recombine the partial reports with ccd_merge):
   --emit-shards K      write K self-contained shard spec files and exit
@@ -212,6 +228,85 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+/// Throttled live progress line on stderr.  Workers call operator() after
+/// every run; a lock-free time gate (CAS on the last-print stamp) lets at
+/// most one thread through per window, so the hot path costs one relaxed
+/// load per run and there is no convoy on a mutex or on stderr.  On a tty
+/// the line redraws in place at <= 5 Hz; piped stderr gets a plain line
+/// every ~2 s instead.
+class ProgressPrinter {
+ public:
+  ProgressPrinter() : tty_(isatty(fileno(stderr)) != 0) {}
+
+  void operator()(std::size_t done, std::size_t total) {
+    total_.store(total, std::memory_order_relaxed);
+    const std::uint64_t now = timer_.elapsed_ns();
+    const std::uint64_t interval =
+        tty_ ? 200'000'000ull : 2'000'000'000ull;  // 5 Hz / 0.5 Hz
+    std::uint64_t last = last_print_ns_.load(std::memory_order_relaxed);
+    if (now - last < interval) return;
+    if (!last_print_ns_.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed)) {
+      return;  // another worker owns this window
+    }
+    print(done, total, now);
+  }
+
+  /// Final 100% line from the main thread once the pool has joined (the
+  /// throttle may have swallowed the last per-run update).  No-op if the
+  /// pool never reported (e.g. a fully resumed shard with nothing to run).
+  void finish() {
+    const std::size_t total = total_.load(std::memory_order_relaxed);
+    if (total == 0) return;
+    print(total, total, timer_.elapsed_ns());
+    if (tty_) std::fputc('\n', stderr);
+  }
+
+ private:
+  void print(std::size_t done, std::size_t total, std::uint64_t now_ns) {
+    const double secs = static_cast<double>(now_ns) * 1e-9;
+    const double rate = secs > 0 ? static_cast<double>(done) / secs : 0.0;
+    const double eta =
+        (rate > 0 && done < total)
+            ? static_cast<double>(total - done) / rate
+            : 0.0;
+    std::fprintf(stderr, "%sccd_sweep: %zu/%zu runs  %.1f runs/s  eta %.0fs%s",
+                 tty_ ? "\r" : "", done, total, rate, eta, tty_ ? "" : "\n");
+    if (tty_) std::fflush(stderr);
+  }
+
+  ccd::obs::RunTimer timer_;
+  std::atomic<std::uint64_t> last_print_ns_{0};
+  std::atomic<std::size_t> total_{0};
+  bool tty_;
+};
+
+/// ccd-bench-v1: sweep throughput measured on real sweep runs, derived
+/// from the perf sidecar's counters (rounds) and wall clock.
+std::string bench_throughput_json(const std::string& grid_name,
+                                  const obs::SweepPerf& perf) {
+  const double secs = static_cast<double>(perf.wall_ns) * 1e-9;
+  auto per_sec = [&](std::uint64_t count) {
+    return secs > 0 ? static_cast<double>(count) / secs : 0.0;
+  };
+  char buffer[160];
+  std::string out = "{\"format\":\"ccd-bench-v1\"";
+  out += ",\"bench\":\"sweep_throughput\"";
+  out += ",\"grid\":\"" + grid_name + "\"";
+  out += ",\"threads\":" + std::to_string(perf.threads);
+  out += ",\"runs\":" + std::to_string(perf.runs);
+  out += ",\"wall_ns\":" + std::to_string(perf.wall_ns);
+  std::snprintf(buffer, sizeof buffer, ",\"runs_per_sec\":%.3f",
+                per_sec(perf.runs));
+  out += buffer;
+  out += ",\"rounds\":" + std::to_string(perf.counters.rounds);
+  std::snprintf(buffer, sizeof buffer, ",\"rounds_per_sec\":%.3f",
+                per_sec(perf.counters.rounds));
+  out += buffer;
+  out += "}\n";
+  return out;
+}
+
 /// "i/K" with 0 <= i < K.
 bool parse_shard_of(const std::string& arg, std::size_t& index,
                     std::size_t& count) {
@@ -238,6 +333,7 @@ bool parse_shard_of(const std::string& arg, std::size_t& index,
 int main(int argc, char** argv) {
   std::string grid_name = "default";
   std::string json_path, csv_path;
+  std::string perf_path, trace_path, bench_path;
   unsigned threads = 0;
   bool quiet = false;
 
@@ -402,6 +498,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       ok = v != nullptr;
       if (ok) csv_path = v;
+    } else if (flag == "--perf-out") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) perf_path = v;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) trace_path = v;
+    } else if (flag == "--bench-out") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) bench_path = v;
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (flag == "--emit-shards") {
@@ -480,6 +588,22 @@ int main(int argc, char** argv) {
   }
   if (resume && checkpoint_path.empty()) {
     std::fprintf(stderr, "ccd_sweep: --resume needs --checkpoint PATH\n");
+    return 2;
+  }
+  // Telemetry outputs measure pool executions; --rerun-cell and
+  // --emit-shards never run a pool.
+  if ((!perf_path.empty() || !trace_path.empty() || !bench_path.empty()) &&
+      (have_rerun_cell || emit_shards > 0)) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --perf-out/--trace-out/--bench-out measure a "
+                 "sweep execution; they conflict with --rerun-cell and "
+                 "--emit-shards\n");
+    return 2;
+  }
+  if (!bench_path.empty() && worker_mode) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --bench-out measures a full-grid run; a shard "
+                 "worker's throughput is not the grid's\n");
     return 2;
   }
 
@@ -583,7 +707,16 @@ int main(int argc, char** argv) {
     shard_options.sweep.threads = threads;
     shard_options.checkpoint_path = checkpoint_path;
     shard_options.resume = resume;
+    obs::SweepPerf perf;
+    if (!perf_path.empty() || !trace_path.empty()) {
+      shard_options.sweep.perf = &perf;
+    }
+    ProgressPrinter progress;
     if (!quiet) {
+      shard_options.sweep.progress = [&progress](std::size_t done,
+                                                 std::size_t total) {
+        progress(done, total);
+      };
       std::fprintf(stderr,
                    "ccd_sweep: shard %zu/%zu (%s): %zu of %zu cells x %u "
                    "seeds\n",
@@ -593,11 +726,24 @@ int main(int argc, char** argv) {
     }
     std::string error;
     auto report = run_shard(spec, shard_options, &error);
+    if (!quiet) progress.finish();
     if (!report) {
       std::fprintf(stderr, "ccd_sweep: %s\n", error.c_str());
       return 2;
     }
     if (!write_file(json_path, report->to_json())) return 1;
+    if (!perf_path.empty()) {
+      const obs::PerfSidecar sidecar = obs::build_perf_sidecar(
+          spec.grid_fingerprint, spec.shard_index, spec.shard_count, perf);
+      if (!write_file(perf_path, sidecar.to_json() + "\n")) return 1;
+    }
+    if (!trace_path.empty() &&
+        !write_file(trace_path,
+                    obs::sweep_trace_json(perf, spec.shard_index,
+                                          spec.grid.seeds_per_cell) +
+                        "\n")) {
+      return 1;
+    }
     if (!quiet) {
       std::fprintf(stderr, "ccd_sweep: wrote shard report %s (%zu cells)\n",
                    json_path.c_str(), report->cells.size());
@@ -607,12 +753,21 @@ int main(int argc, char** argv) {
 
   SweepOptions options;
   options.threads = threads;
+  obs::SweepPerf perf;
+  if (!perf_path.empty() || !trace_path.empty() || !bench_path.empty()) {
+    options.perf = &perf;
+  }
+  ProgressPrinter progress;
   if (!quiet) {
+    options.progress = [&progress](std::size_t done, std::size_t total) {
+      progress(done, total);
+    };
     std::fprintf(stderr, "ccd_sweep: %zu cells x %u seeds = %zu runs\n",
                  grid.num_cells(), grid.seeds_per_cell, grid.num_runs());
   }
 
   const std::vector<RunRecord> records = run_sweep(grid, options);
+  if (!quiet) progress.finish();
   const std::vector<CellAggregate> cells = aggregate(grid, records);
 
   if (!quiet) print_summary(std::cout, grid, cells);
@@ -621,6 +776,23 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!csv_path.empty() && !write_file(csv_path, aggregates_to_csv(cells))) {
+    return 1;
+  }
+  // Observation artifacts last: the report writes above are bytewise
+  // independent of everything below.
+  if (!perf_path.empty()) {
+    const obs::PerfSidecar sidecar =
+        obs::build_perf_sidecar(grid.fingerprint(), 0, 1, perf);
+    if (!write_file(perf_path, sidecar.to_json() + "\n")) return 1;
+  }
+  if (!trace_path.empty() &&
+      !write_file(trace_path,
+                  obs::sweep_trace_json(perf, 0, grid.seeds_per_cell) +
+                      "\n")) {
+    return 1;
+  }
+  if (!bench_path.empty() &&
+      !write_file(bench_path, bench_throughput_json(grid_name, perf))) {
     return 1;
   }
   return 0;
