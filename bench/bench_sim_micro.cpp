@@ -13,6 +13,7 @@
 #include "consensus/alg1_maj_oac.hpp"
 #include "consensus/alg2_zero_oac.hpp"
 #include "consensus/harness.hpp"
+#include "engine/lane_engine.hpp"
 #include "engine/round_engine.hpp"
 #include "exp/sweep_grid.hpp"
 #include "exp/sweep_runner.hpp"
@@ -20,6 +21,7 @@
 #include "multihop/flood.hpp"
 #include "multihop/mis.hpp"
 #include "net/ecf_adversary.hpp"
+#include "net/no_loss.hpp"
 #include "obs/perf_sidecar.hpp"
 #include "sim/executor.hpp"
 
@@ -137,6 +139,148 @@ void BM_EngineRoundMatrixLocal(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineRoundMatrixLocal)->Arg(16)->Arg(64)->Arg(256);
 
+// ---- lane-vs-scalar twin pairs ------------------------------------------
+// Each pair constructs a FRESH engine per measurement batch and runs a
+// fixed round count.  A persistent engine drifts into its quiesced steady
+// state over thousands of benchmark iterations (everyone decided, nobody
+// broadcasting) and stops representing what sweeps execute: fresh worlds
+// whose early rounds carry all the contention.  items/sec counts
+// process-rounds across every lane, so the lane/scalar items-per-second
+// ratio IS the per-world-round speedup (construction cost included in
+// both, amortized over the same round count).
+constexpr Round kTwinRounds = 128;
+
+// Production single-hop shape: loss-free clique consensus.  Broadcasts
+// taper as estimates converge, so this measures the busy-head/quiet-tail
+// mix a real consensus run has.
+EngineWorld clique_world(std::size_t n, std::uint64_t seed) {
+  Alg2Algorithm alg(1 << 16);
+  WakeupService::Options ws;
+  ws.r_wake = 1u << 30;
+  ws.pre = WakeupService::PreStabilization::kAllActive;
+  EngineWorld ew;
+  ew.world = make_world(alg, random_initial_values(n, 1 << 16, seed),
+                        std::make_unique<WakeupService>(ws),
+                        std::make_unique<OracleDetector>(
+                            DetectorSpec::ZeroOAC(1u << 30),
+                            make_truthful_policy()),
+                        std::make_unique<NoLoss>(),
+                        std::make_unique<NoFailures>());
+  ew.topology = Topology::clique(n);
+  ew.channel = ChannelModel::kMatrix;
+  ew.scope = CollisionScope::kGlobal;
+  return ew;
+}
+
+// Worst-case clique load: every process broadcasts every round, forever
+// (flooding with p = 1 and an unbounded freshness window).  This is the
+// O(n^2) delivery loop the lane engine's shared-multiset path vectorizes.
+EngineWorld saturated_world(std::size_t n, std::uint64_t seed) {
+  EngineWorld ew;
+  for (std::size_t i = 0; i < n; ++i) {
+    FloodProcess::Options o;
+    o.is_source = i == 0;
+    o.policy = FloodPolicy::kFixed;
+    o.p_broadcast = 1.0;
+    o.fresh_rounds = 1u << 30;
+    o.seed = seed * 131 + i;
+    ew.world.processes.push_back(std::make_unique<FloodProcess>(o));
+  }
+  ew.world.cd = std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                                 make_truthful_policy());
+  ew.world.loss = std::make_unique<NoLoss>();
+  ew.world.fault = std::make_unique<NoFailures>();
+  ew.topology = Topology::clique(n);
+  ew.channel = ChannelModel::kMatrix;
+  ew.scope = CollisionScope::kGlobal;
+  return ew;
+}
+
+// Multihop shape: MIS over the capture channel on a grid.  Per-lane RNG
+// streams make this irreducibly per-world work, so the lane twin measures
+// the batched engine's overhead (and cache behaviour), not a vector win.
+EngineWorld mis_grid_world(std::size_t n, std::uint64_t seed) {
+  EngineWorld ew;
+  for (std::size_t i = 0; i < n; ++i) {
+    MisProcess::Options o;
+    o.seed = seed * 131 + i;
+    ew.world.processes.push_back(std::make_unique<MisProcess>(o));
+  }
+  ew.world.cd = std::make_unique<OracleDetector>(DetectorSpec::ZeroAC(),
+                                                 make_truthful_policy());
+  ew.topology = Topology::grid_n(n);
+  ew.channel = ChannelModel::kCapture;
+  ew.scope = CollisionScope::kLocal;
+  ew.link = {0.9, 0.3};
+  ew.link_seed = seed;
+  return ew;
+}
+
+template <EngineWorld (*MakeWorld)(std::size_t, std::uint64_t)>
+void scalar_twin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  EngineOptions options;
+  options.record_views = false;
+  options.record_rounds = false;
+  options.stop_when_all_decided = false;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    RoundEngine engine(MakeWorld(n, seed++), options);
+    for (Round r = 0; r < kTwinRounds; ++r) engine.step();
+    benchmark::DoNotOptimize(engine.counters());
+  }
+  state.SetItemsProcessed(state.iterations() * kTwinRounds * n);
+}
+
+template <EngineWorld (*MakeWorld)(std::size_t, std::uint64_t)>
+void lane_twin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  LaneOptions options;
+  options.stop_when_all_decided = false;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    std::vector<EngineWorld> worlds;
+    worlds.reserve(kLaneWidth);
+    for (std::size_t l = 0; l < kLaneWidth; ++l) {
+      worlds.push_back(MakeWorld(n, seed++));
+    }
+    LaneEngine engine(std::move(worlds), options);
+    for (Round r = 0; r < kTwinRounds; ++r) engine.step();
+    benchmark::DoNotOptimize(engine.counters(0));
+  }
+  state.SetItemsProcessed(state.iterations() * kTwinRounds * n * kLaneWidth);
+}
+
+void BM_EngineRoundConsensusClique(benchmark::State& state) {
+  scalar_twin<clique_world>(state);
+}
+BENCHMARK(BM_EngineRoundConsensusClique)->Arg(16)->Arg(64);
+
+void BM_LaneEngineRoundConsensusClique(benchmark::State& state) {
+  lane_twin<clique_world>(state);
+}
+BENCHMARK(BM_LaneEngineRoundConsensusClique)->Arg(16)->Arg(64);
+
+void BM_EngineRoundSaturatedClique(benchmark::State& state) {
+  scalar_twin<saturated_world>(state);
+}
+BENCHMARK(BM_EngineRoundSaturatedClique)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LaneEngineRoundSaturatedClique(benchmark::State& state) {
+  lane_twin<saturated_world>(state);
+}
+BENCHMARK(BM_LaneEngineRoundSaturatedClique)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EngineRoundMisGrid(benchmark::State& state) {
+  scalar_twin<mis_grid_world>(state);
+}
+BENCHMARK(BM_EngineRoundMisGrid)->Arg(16)->Arg(64);
+
+void BM_LaneEngineRoundMisGrid(benchmark::State& state) {
+  lane_twin<mis_grid_world>(state);
+}
+BENCHMARK(BM_LaneEngineRoundMisGrid)->Arg(16)->Arg(64);
+
 void BM_DetectorAdvice(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   OracleDetector det(DetectorSpec::MajOAC(100), make_truthful_policy());
@@ -190,6 +334,7 @@ void BM_SweepThroughput(benchmark::State& state) {
     obs::SweepPerf perf;
     exp::SweepOptions options;
     options.threads = 1;
+    options.lanes = false;  // scalar baseline; lane twin below
     options.perf = &perf;
     benchmark::DoNotOptimize(exp::run_sweep(*grid, options));
     rounds += perf.counters.rounds;
@@ -199,6 +344,58 @@ void BM_SweepThroughput(benchmark::State& state) {
   state.counters["runs"] = static_cast<double>(runs);
 }
 BENCHMARK(BM_SweepThroughput)->Unit(benchmark::kMillisecond);
+
+// Same real-sweep measurement through the lane path (64 seeds per cell so
+// blocks actually fill); compare against BM_SweepThroughputScalarWide --
+// the identical grid with lanes off -- for the end-to-end sweep speedup
+// including per-run world construction.
+void BM_SweepThroughputLanes(benchmark::State& state) {
+  auto grid = exp::SweepGrid::named("smoke");
+  if (!grid) {
+    state.SkipWithError("smoke grid missing");
+    return;
+  }
+  grid->seeds_per_cell = 64;
+  std::uint64_t rounds = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    obs::SweepPerf perf;
+    exp::SweepOptions options;
+    options.threads = 1;
+    options.lanes = true;
+    options.perf = &perf;
+    benchmark::DoNotOptimize(exp::run_sweep(*grid, options));
+    rounds += perf.counters.rounds;
+    runs += perf.runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_SweepThroughputLanes)->Unit(benchmark::kMillisecond);
+
+void BM_SweepThroughputScalarWide(benchmark::State& state) {
+  auto grid = exp::SweepGrid::named("smoke");
+  if (!grid) {
+    state.SkipWithError("smoke grid missing");
+    return;
+  }
+  grid->seeds_per_cell = 64;
+  std::uint64_t rounds = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    obs::SweepPerf perf;
+    exp::SweepOptions options;
+    options.threads = 1;
+    options.lanes = false;
+    options.perf = &perf;
+    benchmark::DoNotOptimize(exp::run_sweep(*grid, options));
+    rounds += perf.counters.rounds;
+    runs += perf.runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_SweepThroughputScalarWide)->Unit(benchmark::kMillisecond);
 
 void BM_FullConsensusRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

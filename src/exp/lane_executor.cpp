@@ -1,0 +1,320 @@
+#include "exp/lane_executor.hpp"
+
+#include <cassert>
+
+#include "consensus/checker.hpp"
+#include "consensus/harness.hpp"
+#include "engine/lane_engine.hpp"
+#include "multihop/flood.hpp"
+#include "multihop/mis.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::exp {
+
+namespace {
+
+/// Every spec in a block must agree on the axes that fix the execution
+/// structure (one shared topology, one round budget, one lockstep loop).
+[[maybe_unused]] bool block_is_uniform(const std::vector<ScenarioSpec>& s) {
+  for (std::size_t k = 1; k < s.size(); ++k) {
+    if (s[k].workload != s[0].workload || s[k].topology != s[0].topology ||
+        s[k].n != s[0].n) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The RunSummary epilogue shared by every consensus-shaped lane: verdict
+/// from the lane's log, CST surplus accounting -- the exact arithmetic of
+/// run_consensus / run_consensus_on_topology.
+void finish_summary(RunSummary& s, const LaneEngine& eng, std::size_t l) {
+  s.result = eng.result(l);
+  s.verdict = check_consensus(eng.log(l), eng.world(l).initial_values);
+  if (s.cst != kNeverRound && s.verdict.last_decision_round > s.cst) {
+    s.rounds_after_cst = s.verdict.last_decision_round - s.cst;
+  }
+}
+
+void run_consensus_block(const std::vector<ScenarioSpec>& specs,
+                         std::vector<ScenarioOutcome>& outs) {
+  const ScenarioSpec& head = specs[0];
+  const bool singlehop = head.topology == TopologyKind::kSingleHop;
+  Topology topo = WorldFactory::make_topology(head);
+  std::uint32_t diam = 0;
+  bool connected = false;
+  if (!singlehop) {
+    const std::uint32_t d = topo.diameter();
+    connected = d != Topology::kUnreachable;
+    diam = connected ? d : 0;
+  }
+
+  std::vector<EngineWorld> worlds;
+  worlds.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    EngineWorld ew;
+    ew.world = WorldFactory::make(spec);
+    ew.topology = topo;
+    ew.channel = ChannelModel::kMatrix;
+    ew.scope = singlehop ? CollisionScope::kGlobal : CollisionScope::kLocal;
+    worlds.push_back(std::move(ew));
+  }
+  LaneEngine eng(std::move(worlds), LaneOptions{true});
+  // CST is read after construction so it reflects substituted neutral
+  // components (same reason run_consensus reads it off the Executor).
+  for (std::size_t l = 0; l < specs.size(); ++l) {
+    outs[l].summary.cst = eng.world(l).cst();
+  }
+  eng.run(WorldFactory::max_rounds(head));
+  for (std::size_t l = 0; l < specs.size(); ++l) {
+    ScenarioOutcome& out = outs[l];
+    finish_summary(out.summary, eng, l);
+    out.counters.add(eng.counters(l));
+    if (!singlehop) {
+      out.mh.ran = true;
+      out.mh.connected = connected;
+      out.mh.diameter = diam;
+      out.mh.rounds_executed = eng.result(l).rounds_executed;
+      out.mh.broadcasts = eng.total_broadcasts(l);
+      out.mh.messages_per_node =
+          head.n > 0 ? static_cast<double>(eng.total_broadcasts(l)) /
+                           static_cast<double>(head.n)
+                     : 0.0;
+      out.mh.crashes_applied = eng.crashes_applied(l);
+      out.mh.survivors = eng.num_alive(l);
+    }
+  }
+}
+
+/// Shared capture-channel assembly, the lane twin of make_capture_engine:
+/// same component construction order per lane, same kMhLinkSalt stream.
+LaneEngine make_capture_lanes(const std::vector<ScenarioSpec>& specs,
+                              const Topology& topo,
+                              std::vector<Round>& quiesce, bool mis) {
+  const Round budget = WorldFactory::multihop_max_rounds(specs[0]);
+  std::vector<EngineWorld> worlds;
+  worlds.reserve(specs.size());
+  quiesce.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    const std::size_t n = topo.size();
+    const std::uint64_t proc_base = WorldFactory::mh_proc_seed(spec);
+    EngineWorld ew;
+    ew.world.processes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seed =
+          hash_mix(proc_base ^ static_cast<std::uint64_t>(i));
+      if (mis) {
+        MisProcess::Options o;
+        o.seed = seed;
+        ew.world.processes.push_back(std::make_unique<MisProcess>(o));
+      } else {
+        FloodProcess::Options o;
+        o.is_source = i == 0;
+        o.policy = FloodPolicy::kCdBackoff;
+        o.fresh_rounds = budget;
+        o.seed = seed;
+        ew.world.processes.push_back(std::make_unique<FloodProcess>(o));
+      }
+    }
+    ew.world.cd = WorldFactory::make_detector(spec);
+    ew.world.fault = WorldFactory::make_fault(spec);
+    // Theorem 3 accounting: completion is only declared once the adversary
+    // has no crashes pending.
+    quiesce.push_back(ew.world.fault->last_crash_round());
+    ew.topology = topo;
+    ew.channel = ChannelModel::kCapture;
+    ew.scope = CollisionScope::kLocal;
+    ew.link = WorldFactory::make_link(spec);
+    ew.link_seed = WorldFactory::mh_link_seed(spec);
+    worlds.push_back(std::move(ew));
+  }
+  return LaneEngine(std::move(worlds), LaneOptions{false});
+}
+
+void finish_mh(MultihopSummary& out, const LaneEngine& eng, std::size_t l) {
+  out.rounds_executed = eng.result(l).rounds_executed;
+  out.broadcasts = eng.total_broadcasts(l);
+  out.messages_per_node =
+      eng.size() > 0 ? static_cast<double>(eng.total_broadcasts(l)) /
+                           static_cast<double>(eng.size())
+                     : 0.0;
+  out.crashes_applied = eng.crashes_applied(l);
+  out.survivors = eng.num_alive(l);
+}
+
+void run_flood_block(const std::vector<ScenarioSpec>& specs,
+                     std::vector<ScenarioOutcome>& outs) {
+  const Topology topo = WorldFactory::make_topology(specs[0]);
+  const std::size_t n = topo.size();
+  const std::uint32_t diam = topo.diameter();
+  const Round budget = WorldFactory::multihop_max_rounds(specs[0]);
+  for (ScenarioOutcome& out : outs) {
+    out.mh.ran = true;
+    out.mh.connected = diam != Topology::kUnreachable;
+    out.mh.diameter = out.mh.connected ? diam : 0;
+  }
+
+  std::vector<Round> quiesce;
+  LaneEngine eng = make_capture_lanes(specs, topo, quiesce, /*mis=*/false);
+  for (Round r = 1; r <= budget && eng.active_mask(); ++r) {
+    eng.step();
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+      if (!eng.lane_active(l)) continue;
+      // Coverage is over survivors: a copy held only by the dead serves
+      // nobody.
+      std::size_t covered = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (eng.alive(l, i) &&
+            static_cast<FloodProcess&>(eng.process(l, i)).has_message()) {
+          ++covered;
+        }
+      }
+      outs[l].mh.covered = covered;
+      if (eng.num_alive(l) > 0 && covered == eng.num_alive(l) &&
+          r >= quiesce[l]) {
+        outs[l].mh.full_coverage_round = r;
+        eng.retire(l);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < specs.size(); ++l) {
+    if (eng.lane_active(l)) eng.retire(l);
+    finish_mh(outs[l].mh, eng, l);
+    outs[l].counters.add(eng.counters(l));
+  }
+}
+
+void run_mis_block(const std::vector<ScenarioSpec>& specs,
+                   std::vector<ScenarioOutcome>& outs,
+                   std::vector<std::vector<bool>>* heads_out) {
+  const Topology topo = WorldFactory::make_topology(specs[0]);
+  const std::size_t n = topo.size();
+  const std::uint32_t diam = topo.diameter();
+  const Round budget = WorldFactory::multihop_max_rounds(specs[0]);
+  for (ScenarioOutcome& out : outs) {
+    out.mh.ran = true;
+    out.mh.connected = diam != Topology::kUnreachable;
+    out.mh.diameter = out.mh.connected ? diam : 0;
+  }
+
+  std::vector<Round> quiesce;
+  LaneEngine eng = make_capture_lanes(specs, topo, quiesce, /*mis=*/true);
+  for (Round r = 1; r <= budget && eng.active_mask(); ++r) {
+    eng.step();
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+      if (!eng.lane_active(l)) continue;
+      // Settlement over survivors, only after failures cease: a crash can
+      // un-dominate a node.
+      bool all_settled = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (eng.alive(l, i) &&
+            !static_cast<MisProcess&>(eng.process(l, i)).settled()) {
+          all_settled = false;
+          break;
+        }
+      }
+      if (all_settled && r >= quiesce[l]) {
+        outs[l].mh.mis_settle_round = r;
+        eng.retire(l);
+      }
+    }
+  }
+  if (heads_out) heads_out->resize(specs.size());
+  for (std::size_t l = 0; l < specs.size(); ++l) {
+    if (eng.lane_active(l)) eng.retire(l);
+    MultihopSummary& out = outs[l].mh;
+    // Heads and the independence/maximality verdicts are conditioned on
+    // the surviving subgraph.
+    std::vector<bool> heads(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      heads[i] = eng.alive(l, i) &&
+                 static_cast<MisProcess&>(eng.process(l, i)).state() ==
+                     MisProcess::State::kHead;
+      if (heads[i]) ++out.mis_size;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!eng.alive(l, i)) continue;
+      if (heads[i]) {
+        for (std::uint32_t j : topo.neighbors(i)) {
+          if (heads[j]) out.mis_independent = false;
+        }
+      } else {
+        bool dominated = false;
+        for (std::uint32_t j : topo.neighbors(i)) {
+          if (heads[j]) dominated = true;
+        }
+        if (!dominated) out.mis_maximal = false;
+      }
+    }
+    finish_mh(out, eng, l);
+    outs[l].counters.add(eng.counters(l));
+    if (heads_out) (*heads_out)[l] = std::move(heads);
+  }
+}
+
+}  // namespace
+
+bool LaneExecutor::eligible(const ScenarioSpec& spec,
+                            const RunScenarioOptions& options) {
+  // Trace capture wants the engine's per-round recording; the lane engine
+  // deliberately records none (reports never read it).
+  if (options.capture_log || options.record_views) return false;
+  if (spec.n == 0) return false;
+  // Round-sync sits below the round abstraction entirely.
+  if (spec.workload == WorkloadKind::kRoundSync) return false;
+  // A random-geometric graph is seed-dependent; lanes share one topology.
+  if (spec.topology == TopologyKind::kRandomGeometric) return false;
+  return true;
+}
+
+std::vector<ScenarioOutcome> LaneExecutor::run_block(
+    const std::vector<ScenarioSpec>& specs,
+    const RunScenarioOptions& options) {
+  assert(!specs.empty() && specs.size() <= kLaneWidth);
+  assert(block_is_uniform(specs));
+  for ([[maybe_unused]] const ScenarioSpec& spec : specs) {
+    assert(eligible(spec, options));
+  }
+  std::vector<ScenarioOutcome> outs(specs.size());
+  switch (specs[0].workload) {
+    case WorkloadKind::kConsensus:
+      run_consensus_block(specs, outs);
+      break;
+    case WorkloadKind::kFlood:
+      run_flood_block(specs, outs);
+      break;
+    case WorkloadKind::kMis:
+      run_mis_block(specs, outs, nullptr);
+      break;
+    case WorkloadKind::kMisThenConsensus: {
+      std::vector<std::vector<bool>> heads;
+      run_mis_block(specs, outs, &heads);
+      // Phase 2 per lane through the scalar harness: the surviving head
+      // count k fixes n, and k is seed-dependent, so lanes cannot stay in
+      // lockstep past phase 1.
+      for (std::size_t l = 0; l < specs.size(); ++l) {
+        std::size_t k = 0;
+        for (bool h : heads[l]) k += h;
+        if (k > 0) {
+          const ScenarioSpec sub = WorldFactory::phase2_spec(
+              specs[l], static_cast<std::uint32_t>(k));
+          ExecutorOptions eo;
+          eo.record_views = options.record_views;
+          outs[l].mh.consensus =
+              run_consensus(WorldFactory::make(sub),
+                            WorldFactory::max_rounds(sub), eo, nullptr,
+                            &outs[l].counters);
+          outs[l].summary = *outs[l].mh.consensus;
+        } else {
+          outs[l].mh.phase2_skipped = true;
+        }
+      }
+      break;
+    }
+    case WorkloadKind::kRoundSync:
+      break;  // excluded by eligible(); unreachable from SweepRunner
+  }
+  return outs;
+}
+
+}  // namespace ccd::exp

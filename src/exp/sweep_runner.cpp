@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "engine/lane_engine.hpp"
+#include "exp/lane_executor.hpp"
 #include "exp/world_factory.hpp"
 #include "obs/telemetry.hpp"
 
@@ -29,9 +31,18 @@ RunRecord run_one(const SweepGrid& grid, std::size_t run_index,
 
 namespace {
 
-/// Shared pool core: workers claim slot j and execute run index_of(j).
-/// Results land in the slot owned by j, so the returned vector's order is
-/// the caller's index order regardless of scheduling.
+/// Shared pool core: workers claim BLOCKS of slots and execute run
+/// index_of(j) for each slot j in the block.  Results land in the slot
+/// owned by j, so the returned vector's order is the caller's index order
+/// regardless of scheduling.
+///
+/// With options.lanes, a block is a maximal run of consecutive slots whose
+/// GLOBAL run indices are consecutive within one lane-eligible cell (up to
+/// kLaneWidth of them) -- those execute in lockstep through the
+/// LaneExecutor.  Everything else (ineligible specs, strided shard index
+/// sets, the S mod 64 cell remainder when it lands alone) is a 1-run block
+/// on the scalar run_one path.  The partition only affects scheduling
+/// granularity; record CONTENT is byte-identical either way.
 template <typename IndexOf>
 std::vector<RunRecord> run_pool(const SweepGrid& grid, std::size_t total,
                                 const SweepOptions& options,
@@ -42,11 +53,36 @@ std::vector<RunRecord> run_pool(const SweepGrid& grid, std::size_t total,
     return records;
   }
 
+  RunScenarioOptions scenario_options;
+  scenario_options.record_views = options.record_views;
+
+  struct Block {
+    std::size_t first = 0;
+    std::size_t count = 1;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(options.lanes ? total / kLaneWidth + 1 : total);
+  for (std::size_t j = 0; j < total;) {
+    const std::size_t idx = index_of(j);
+    std::size_t count = 1;
+    if (options.lanes &&
+        LaneExecutor::eligible(grid.spec_for_run(idx), scenario_options)) {
+      const std::size_t cell = grid.cell_of_run(idx);
+      while (count < kLaneWidth && j + count < total &&
+             index_of(j + count) == idx + count &&
+             grid.cell_of_run(idx + count) == cell) {
+        ++count;
+      }
+    }
+    blocks.push_back({j, count});
+    j += count;
+  }
+
   unsigned threads = options.threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, total));
+      std::min<std::size_t>(threads, blocks.size()));
 
   // One epoch for the whole pool; spans and finish times are offsets into
   // it, so a Chrome trace of the spans lines workers up on a shared axis.
@@ -62,26 +98,58 @@ std::vector<RunRecord> run_pool(const SweepGrid& grid, std::size_t total,
   auto worker = [&](unsigned worker_id) {
     obs::Telemetry::Sink& sink = obs::Telemetry::thread_sink();
     while (true) {
-      const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
-      if (j >= total) break;
+      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks.size()) break;
+      const Block& blk = blocks[b];
       const std::uint64_t start_ns =
           options.perf ? epoch.elapsed_ns() : 0;
-      records[j] = run_one(grid, index_of(j), options.record_views);
-      records[j].perf.worker = worker_id;
-      sink.add_engine(records[j].perf.engine);
-      sink.add(obs::Counter::kRunsExecuted, 1);
-      if (options.perf) {
-        obs::RunSpan& span = options.perf->spans[j];
-        span.run_index = records[j].run_index;
-        span.cell_index = records[j].cell_index;
-        span.worker = worker_id;
-        span.start_ns = start_ns;
-        span.end_ns = epoch.elapsed_ns();
+      if (blk.count == 1) {
+        records[blk.first] =
+            run_one(grid, index_of(blk.first), options.record_views);
+      } else {
+        std::vector<ScenarioSpec> specs(blk.count);
+        for (std::size_t k = 0; k < blk.count; ++k) {
+          RunRecord& rec = records[blk.first + k];
+          rec.run_index = index_of(blk.first + k);
+          rec.cell_index = grid.cell_of_run(rec.run_index);
+          rec.spec = grid.spec_for_run(rec.run_index);
+          specs[k] = rec.spec;
+        }
+        obs::RunTimer timer;
+        std::vector<ScenarioOutcome> outcomes =
+            LaneExecutor::run_block(specs, scenario_options);
+        // Per-run wall time is observational only (sidecar percentiles);
+        // the honest per-run figure for a lockstep block is the amortized
+        // cost.
+        const std::uint64_t wall_each = timer.elapsed_ns() / blk.count;
+        for (std::size_t k = 0; k < blk.count; ++k) {
+          RunRecord& rec = records[blk.first + k];
+          rec.summary = std::move(outcomes[k].summary);
+          rec.mh = std::move(outcomes[k].mh);
+          rec.sync = outcomes[k].sync;
+          rec.perf.engine = outcomes[k].counters;
+          rec.perf.wall_ns = wall_each;
+        }
       }
-      if (options.on_record) options.on_record(records[j]);
-      const std::size_t finished =
-          done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (options.progress) options.progress(finished, total);
+      const std::uint64_t end_ns = options.perf ? epoch.elapsed_ns() : 0;
+      for (std::size_t k = 0; k < blk.count; ++k) {
+        RunRecord& rec = records[blk.first + k];
+        rec.perf.worker = worker_id;
+        sink.add_engine(rec.perf.engine);
+        sink.add(obs::Counter::kRunsExecuted, 1);
+        if (options.perf) {
+          obs::RunSpan& span = options.perf->spans[blk.first + k];
+          span.run_index = rec.run_index;
+          span.cell_index = rec.cell_index;
+          span.worker = worker_id;
+          span.start_ns = start_ns;
+          span.end_ns = end_ns;
+        }
+        if (options.on_record) options.on_record(rec);
+        const std::size_t finished =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.progress) options.progress(finished, total);
+      }
     }
     worker_finish[worker_id] = epoch.elapsed_ns();
   };

@@ -54,6 +54,16 @@ struct SweepOptions {
   /// Skip per-round view recording (the checker only needs decisions and
   /// crashes); large sweeps run several times faster without views.
   bool record_views = false;
+  /// Batch eligible runs through the 64-wide LaneEngine: workers claim
+  /// BLOCKS of consecutive run indices within one cell (up to 64 seeds in
+  /// lockstep) instead of single runs.  Records are byte-identical either
+  /// way -- LaneExecutor::run_block reproduces run_one's outcome exactly
+  /// per lane -- so this is purely a throughput switch (`--no-lanes` in
+  /// ccd_sweep is the escape hatch).  Ineligible specs (random-geometric
+  /// topologies, round-sync, n = 0, view recording) and non-consecutive
+  /// index sets (strided shards) degrade to 1-run blocks on the scalar
+  /// path.
+  bool lanes = true;
   /// Invoked after each completed run with the number finished so far.
   /// Called from worker threads; must be thread-safe.  May be empty.
   std::function<void(std::size_t done, std::size_t total)> progress;

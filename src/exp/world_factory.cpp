@@ -286,6 +286,29 @@ Round WorldFactory::multihop_max_rounds(const ScenarioSpec& spec) {
   return 200 + 40 * static_cast<Round>(spec.n);
 }
 
+std::uint64_t WorldFactory::mh_proc_seed(const ScenarioSpec& spec) {
+  return sub_seed(spec, kMhProcSalt);
+}
+
+std::uint64_t WorldFactory::mh_link_seed(const ScenarioSpec& spec) {
+  return sub_seed(spec, kMhLinkSalt);
+}
+
+ScenarioSpec WorldFactory::phase2_spec(const ScenarioSpec& spec,
+                                       std::uint32_t k) {
+  ScenarioSpec sub = spec;
+  sub.topology = TopologyKind::kSingleHop;
+  sub.workload = WorkloadKind::kConsensus;
+  sub.n = k;
+  sub.seed = sub_seed(spec, kPhase2Salt);
+  if (sub.fault == FaultKind::kScheduled) {
+    sub.fault = FaultKind::kNone;
+    sub.crash_schedule.clear();
+    sub.crash_schedule_name.clear();
+  }
+  return sub;
+}
+
 namespace {
 
 /// Shared engine assembly for the capture-channel (flood / MIS) workloads:
@@ -574,19 +597,8 @@ ScenarioOutcome WorldFactory::run_scenario(const ScenarioSpec& spec,
       if (k > 0) {
         // Phase 2: the surviving clusterheads form the single-hop
         // backbone; run the spec's consensus stack among them with a
-        // derived seed.  A scheduled crash pattern is a phase-1 artifact
-        // (its process ids name topology nodes, not head indices), so
-        // phase 2 drops it; random-crash carries over.
-        ScenarioSpec sub = spec;
-        sub.topology = TopologyKind::kSingleHop;
-        sub.workload = WorkloadKind::kConsensus;
-        sub.n = static_cast<std::uint32_t>(k);
-        sub.seed = sub_seed(spec, kPhase2Salt);
-        if (sub.fault == FaultKind::kScheduled) {
-          sub.fault = FaultKind::kNone;
-          sub.crash_schedule.clear();
-          sub.crash_schedule_name.clear();
-        }
+        // derived seed (see phase2_spec for the fault-axis carry rules).
+        ScenarioSpec sub = phase2_spec(spec, static_cast<std::uint32_t>(k));
         ExecutorOptions eo;
         eo.record_views = options.record_views;
         if (options.capture_log) {

@@ -159,6 +159,19 @@ class WorldFactory {
   /// bound linear in n (flood progress is Omega(diameter) <= n rounds).
   static Round multihop_max_rounds(const ScenarioSpec& spec);
 
+  /// Per-process RNG base for multihop workload processes (flood / MIS):
+  /// process i seeds from hash_mix(mh_proc_seed(spec) ^ i).
+  static std::uint64_t mh_proc_seed(const ScenarioSpec& spec);
+
+  /// The kCapture channel's link RNG stream seed for this spec.
+  static std::uint64_t mh_link_seed(const ScenarioSpec& spec);
+
+  /// The derived single-hop spec for mis-then-consensus phase 2 among k
+  /// surviving clusterheads: same axes, n = k, the kPhase2Salt seed stream,
+  /// and scheduled crash patterns dropped (their process ids name phase-1
+  /// topology nodes, not head indices); random-crash carries over.
+  static ScenarioSpec phase2_spec(const ScenarioSpec& spec, std::uint32_t k);
+
   /// Execute a spec, whatever its workload/topology, through the one
   /// RoundEngine path.  THE entry point; run_one and --rerun-cell both
   /// land here.

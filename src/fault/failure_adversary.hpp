@@ -57,11 +57,18 @@ class FailureAdversary {
   /// (Theorem 3's termination bound).
   virtual Round last_crash_round() const { return 0; }
 
+  /// True iff this adversary statically never crashes anyone: both crash
+  /// hooks are stateless, RNG-free no-ops.  Engines may then skip both
+  /// crash points entirely without observable effect.  Only NoFailures
+  /// qualifies.
+  virtual bool never_crashes() const { return false; }
+
   virtual const char* name() const = 0;
 };
 
 class NoFailures final : public FailureAdversary {
  public:
+  bool never_crashes() const override { return true; }
   const char* name() const override { return "NoFailures"; }
 };
 

@@ -22,10 +22,11 @@ std::optional<Message> FloodProcess::on_send(Round round, CmAdvice /*cm*/) {
 
 void FloodProcess::on_receive(Round round, std::span<const Message> received,
                               CdAdvice cd, CmAdvice /*cm*/) {
-  const bool heard_payload =
-      count_kind(received, Message::Kind::kPayload) > 0;
   if (!has_message_) {
-    if (heard_payload) {
+    // The payload scan is only needed while we are still listening for the
+    // message; holders take this branch never again, keeping their
+    // per-round receive cost independent of the multiset size.
+    if (count_kind(received, Message::Kind::kPayload) > 0) {
       has_message_ = true;
       received_at_ = round;
       holding_since_ = round;

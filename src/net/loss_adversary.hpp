@@ -52,6 +52,13 @@ class LossAdversary {
   /// adversary offers no such guarantee (NoCF executions).
   virtual Round r_cf() const = 0;
 
+  /// True iff this adversary statically delivers EVERYTHING: every
+  /// decide_delivery call fills the full matrix, consumes no randomness, and
+  /// mutates no state.  Engines may then skip the call (and the matrix)
+  /// entirely without observable effect.  Only NoLoss qualifies; any
+  /// adversary with an RNG or history must return false.
+  virtual bool always_delivers() const { return false; }
+
   virtual const char* name() const = 0;
 };
 

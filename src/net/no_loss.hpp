@@ -12,6 +12,7 @@ class NoLoss final : public LossAdversary {
   void decide_delivery(Round round, const std::vector<bool>& sent,
                        DeliveryMatrix& out) override;
   Round r_cf() const override { return 1; }
+  bool always_delivers() const override { return true; }
   const char* name() const override { return "NoLoss"; }
 };
 

@@ -1,0 +1,154 @@
+// Tail and degenerate-shape coverage for the lane path: cell sizes that
+// land exactly on, just under, and just over the 64-lane block width; the
+// n = 0 scalar fallback; schedules that crash EVERY process; and cells
+// where a single survivor must still decide.  Each case runs the sweep
+// with lanes on and off and demands byte-identical reports plus exactly
+// equal per-run EngineCounters -- the same contract as the differential
+// test, aimed at the boundaries where block partitioning and lane
+// retirement logic could plausibly diverge.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/lane_engine.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
+
+namespace ccd::exp {
+namespace {
+
+struct SweepResult {
+  std::string json;
+  std::string csv;
+  std::vector<obs::EngineCounters> counters;
+};
+
+SweepResult run(const SweepGrid& grid, bool lanes, unsigned threads) {
+  SweepOptions options;
+  options.threads = threads;
+  options.lanes = lanes;
+  const std::vector<RunRecord> records = run_sweep(grid, options);
+  SweepResult result;
+  const auto cells = aggregate(grid, records);
+  result.json = aggregates_to_json(grid, cells);
+  result.csv = aggregates_to_csv(cells);
+  for (const RunRecord& record : records) {
+    result.counters.push_back(record.perf.engine);
+  }
+  return result;
+}
+
+void expect_identical(const SweepGrid& grid, unsigned threads,
+                      const char* what) {
+  const SweepResult lane = run(grid, /*lanes=*/true, threads);
+  const SweepResult scalar = run(grid, /*lanes=*/false, threads);
+  EXPECT_EQ(lane.json, scalar.json) << what << ": JSON diverged";
+  EXPECT_EQ(lane.csv, scalar.csv) << what << ": CSV diverged";
+  ASSERT_EQ(lane.counters.size(), scalar.counters.size()) << what;
+  for (std::size_t r = 0; r < lane.counters.size(); ++r) {
+    EXPECT_EQ(lane.counters[r], scalar.counters[r])
+        << what << ": counters diverged at run " << r;
+  }
+}
+
+SweepGrid base_grid(std::uint32_t seeds_per_cell) {
+  SweepGrid grid;
+  grid.base.n = 6;
+  grid.base.fault = FaultKind::kRandomCrash;
+  grid.base.crash_p = 0.05;
+  grid.base.max_rounds = 40;
+  grid.seeds_per_cell = seeds_per_cell;
+  grid.grid_seed = 0x7a11u;
+  return grid;
+}
+
+TEST(LaneTail, BlockBoundaryCellSizes) {
+  // 1 (single-lane block), 63/64 (just under / exactly one full block),
+  // 65 (full block + 1-lane tail), 130 (two full blocks + 2-lane tail).
+  for (std::uint32_t seeds : {1u, 63u, 64u, 65u, 130u}) {
+    SweepGrid grid = base_grid(seeds);
+    ASSERT_FALSE(grid.validate().has_value());
+    expect_identical(grid, /*threads=*/2,
+                     ("seeds_per_cell=" + std::to_string(seeds)).c_str());
+  }
+}
+
+TEST(LaneTail, TailStraddlesCellsAndAxes) {
+  // Two axes x 65 seeds: every cell contributes a full block plus a
+  // 1-lane tail, and blocks must never bridge a cell boundary.
+  SweepGrid grid = base_grid(65);
+  grid.detectors = {DetectorKind::kAC, DetectorKind::kNoCd};
+  grid.topologies = {TopologyKind::kSingleHop, TopologyKind::kRing};
+  ASSERT_FALSE(grid.validate().has_value());
+  expect_identical(grid, /*threads=*/3, "two axes x 65 seeds");
+}
+
+TEST(LaneTail, EmptyWorldFallsBackToScalar) {
+  SweepGrid grid = base_grid(8);
+  grid.base.n = 0;
+  grid.base.fault = FaultKind::kNone;
+  ASSERT_FALSE(grid.validate().has_value());
+  expect_identical(grid, /*threads=*/2, "n=0");
+}
+
+TEST(LaneTail, AllProcessesCrash) {
+  // Every process is scheduled to die -- a mix of both crash points --
+  // so lanes reach zero survivors and must retire with the scalar
+  // engine's exact counters and (empty) decision set.
+  SweepGrid grid = base_grid(65);
+  grid.base.fault = FaultKind::kScheduled;
+  for (ProcessId p = 0; p < grid.base.n; ++p) {
+    grid.base.crash_schedule.push_back(
+        {static_cast<Round>(1 + p % 3), p,
+         p % 2 == 0 ? CrashPoint::kBeforeSend : CrashPoint::kAfterSend});
+  }
+  ASSERT_FALSE(grid.validate().has_value());
+  expect_identical(grid, /*threads=*/2, "all-crash schedule");
+}
+
+TEST(LaneTail, SingleSurvivorDecides) {
+  // All but process 0 crash in the first rounds; the lone survivor must
+  // still run the full protocol to its decision on both paths.
+  SweepGrid grid = base_grid(65);
+  grid.base.fault = FaultKind::kScheduled;
+  for (ProcessId p = 1; p < grid.base.n; ++p) {
+    grid.base.crash_schedule.push_back(
+        {static_cast<Round>(p), p, CrashPoint::kBeforeSend});
+  }
+  ASSERT_FALSE(grid.validate().has_value());
+  expect_identical(grid, /*threads=*/2, "single survivor");
+
+  // Same shape on a multihop workload: the survivor's flood trivially
+  // covers the surviving subgraph.
+  SweepGrid flood = grid;
+  flood.base.workload = WorkloadKind::kFlood;
+  flood.base.topology = TopologyKind::kLine;
+  ASSERT_FALSE(flood.validate().has_value());
+  expect_identical(flood, /*threads=*/2, "single survivor flood");
+}
+
+TEST(LaneTail, StridedSubsetDegradesToScalarBlocks) {
+  // run_subset with a stride breaks global-index consecutiveness, so the
+  // lane partition must fall back to 1-run blocks -- and still match the
+  // scalar path byte for byte.
+  SweepGrid grid = base_grid(64);
+  std::vector<std::size_t> indices;
+  for (std::size_t j = 0; j < grid.num_runs(); j += 2) indices.push_back(j);
+  SweepOptions lanes_on;
+  lanes_on.lanes = true;
+  SweepOptions lanes_off;
+  lanes_off.lanes = false;
+  const auto a = run_subset(grid, indices, lanes_on);
+  const auto b = run_subset(grid, indices, lanes_off);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].run_index, b[k].run_index);
+    EXPECT_EQ(a[k].perf.engine, b[k].perf.engine) << "run " << k;
+    EXPECT_EQ(a[k].summary.verdict.agreement, b[k].summary.verdict.agreement);
+  }
+}
+
+}  // namespace
+}  // namespace ccd::exp

@@ -47,16 +47,23 @@ constexpr Golden kGoldens[] = {
 };
 
 TEST(GoldenReports, EngineReproducesPreRefactorReportsByteIdentically) {
-  for (const Golden& golden : kGoldens) {
-    auto grid = SweepGrid::named(golden.grid);
-    ASSERT_TRUE(grid.has_value()) << golden.grid;
-    SweepOptions options;
-    options.threads = 4;  // determinism must not depend on thread count
-    const auto cells = aggregate(*grid, run_sweep(*grid, options));
-    EXPECT_EQ(fnv1a(aggregates_to_json(*grid, cells)), golden.json_hash)
-        << golden.grid << ".json drifted from the pre-refactor bytes";
-    EXPECT_EQ(fnv1a(aggregates_to_csv(cells)), golden.csv_hash)
-        << golden.grid << ".csv drifted from the pre-refactor bytes";
+  // Both execution paths -- the 64-wide lane engine (the default) and the
+  // scalar per-run path -- must reproduce the pre-refactor bytes.
+  for (const bool lanes : {true, false}) {
+    for (const Golden& golden : kGoldens) {
+      auto grid = SweepGrid::named(golden.grid);
+      ASSERT_TRUE(grid.has_value()) << golden.grid;
+      SweepOptions options;
+      options.threads = 4;  // determinism must not depend on thread count
+      options.lanes = lanes;
+      const auto cells = aggregate(*grid, run_sweep(*grid, options));
+      EXPECT_EQ(fnv1a(aggregates_to_json(*grid, cells)), golden.json_hash)
+          << golden.grid << ".json drifted from the pre-refactor bytes"
+          << " (lanes=" << lanes << ")";
+      EXPECT_EQ(fnv1a(aggregates_to_csv(cells)), golden.csv_hash)
+          << golden.grid << ".csv drifted from the pre-refactor bytes"
+          << " (lanes=" << lanes << ")";
+    }
   }
 }
 

@@ -93,6 +93,9 @@ trace capture:
 
 execution and output:
   --threads N          worker threads (0 = hardware concurrency; default 0)
+  --no-lanes           disable the 64-wide batched lane engine and run every
+                       run on the scalar path (reports are byte-identical
+                       either way; this is purely a throughput escape hatch)
   --json PATH          write aggregate JSON report
   --csv PATH           write per-cell CSV
   --quiet              suppress the ASCII summary and the live progress line
@@ -335,6 +338,7 @@ int main(int argc, char** argv) {
   std::string json_path, csv_path;
   std::string perf_path, trace_path, bench_path;
   unsigned threads = 0;
+  bool lanes = true;
   bool quiet = false;
 
   // Sharded-execution state.  `grid_flags_used` guards --shard-file: the
@@ -510,6 +514,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       ok = v != nullptr;
       if (ok) bench_path = v;
+    } else if (flag == "--no-lanes") {
+      lanes = false;
     } else if (flag == "--quiet") {
       quiet = true;
     } else if (flag == "--emit-shards") {
@@ -705,6 +711,7 @@ int main(int argc, char** argv) {
     }
     ShardRunOptions shard_options;
     shard_options.sweep.threads = threads;
+    shard_options.sweep.lanes = lanes;
     shard_options.checkpoint_path = checkpoint_path;
     shard_options.resume = resume;
     obs::SweepPerf perf;
@@ -753,6 +760,7 @@ int main(int argc, char** argv) {
 
   SweepOptions options;
   options.threads = threads;
+  options.lanes = lanes;
   obs::SweepPerf perf;
   if (!perf_path.empty() || !trace_path.empty() || !bench_path.empty()) {
     options.perf = &perf;
