@@ -5,7 +5,7 @@
 #include <cstdlib>
 #include <limits>
 
-#include "exp/flat_json.hpp"
+#include "util/flat_json.hpp"
 #include "exp/world_factory.hpp"
 #include "multihop/topology.hpp"
 #include "util/bitcodec.hpp"

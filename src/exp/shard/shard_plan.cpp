@@ -2,7 +2,7 @@
 
 #include <cstdlib>
 
-#include "exp/flat_json.hpp"
+#include "util/flat_json.hpp"
 
 namespace ccd::exp {
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
-#include "exp/flat_json.hpp"
+#include "util/flat_json.hpp"
 
 namespace ccd::exp {
 

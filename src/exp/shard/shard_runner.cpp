@@ -4,7 +4,7 @@
 #include <map>
 #include <mutex>
 
-#include "exp/flat_json.hpp"
+#include "util/flat_json.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ccd::exp {

@@ -4,7 +4,7 @@
 #include <cstdlib>
 #include <type_traits>
 
-#include "exp/flat_json.hpp"
+#include "util/flat_json.hpp"
 #include "util/rng.hpp"
 
 namespace ccd::exp {

@@ -4,13 +4,13 @@
 #include <cstdlib>
 #include <map>
 
-#include "exp/flat_json.hpp"
+#include "util/flat_json.hpp"
 
 namespace ccd::obs {
 
 namespace {
 
-namespace jsonu = ccd::exp::jsonu;
+namespace jsonu = ccd::jsonu;
 
 // Same 16-hex-digit rendering exp/shard uses for grid fingerprints, kept
 // local so obs/ does not depend on the shard layer.

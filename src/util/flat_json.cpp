@@ -1,11 +1,11 @@
-#include "exp/flat_json.hpp"
+#include "util/flat_json.hpp"
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
-namespace ccd::exp::jsonu {
+namespace ccd::jsonu {
 
 std::string format_double(double d) {
   char buf[64];
@@ -243,4 +243,4 @@ std::string quote(const std::string& s) {
   return out;
 }
 
-}  // namespace ccd::exp::jsonu
+}  // namespace ccd::jsonu

@@ -1,5 +1,7 @@
 // Minimal JSON machinery shared by the exp/ serialization code
-// (ScenarioSpec, SweepGrid, shard specs and shard reports).
+// (ScenarioSpec, SweepGrid, shard specs and shard reports) and the obs/
+// perf sidecars.  Lives in util/ -- the bottom of the layer DAG -- so
+// obs/ can parse/emit sidecars without an include edge into exp/.
 //
 // This is NOT a general JSON library: it accepts exactly the shapes our
 // own writers emit -- one object of string / number members plus
@@ -14,7 +16,7 @@
 #include <string>
 #include <vector>
 
-namespace ccd::exp::jsonu {
+namespace ccd::jsonu {
 
 /// Shortest %g form that strtod parses back to the same double: try
 /// increasing precision until the round trip is exact.  Keeps emitted JSON
@@ -64,4 +66,4 @@ void append_double_array(std::string& out, const std::vector<double>& xs);
 /// already escape-free, but defend anyway).
 std::string quote(const std::string& s);
 
-}  // namespace ccd::exp::jsonu
+}  // namespace ccd::jsonu

@@ -1,0 +1,9 @@
+// R1.rand fixture: libc/std nondeterministic randomness in a report path.
+#include <cstdlib>
+#include <random>
+
+int fixture_noise() {
+  std::random_device dev;
+  srand(42);
+  return rand() + static_cast<int>(dev());
+}

@@ -1,0 +1,9 @@
+// R1.unordered fixture: address-ordered iteration in a serialization path.
+#include <string>
+#include <unordered_map>
+
+std::string fixture_emit(const std::unordered_map<int, int>& cells) {
+  std::string out;
+  for (const auto& [k, v] : cells) out += std::to_string(k + v);
+  return out;
+}

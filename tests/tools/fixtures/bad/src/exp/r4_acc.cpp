@@ -1,0 +1,6 @@
+// R4.float_accum fixture: order-sensitive float fold in a report path.
+double fixture_total = 0.0;
+
+void fixture_fold(const double* xs, int n) {
+  for (int i = 0; i < n; ++i) fixture_total += xs[i];
+}

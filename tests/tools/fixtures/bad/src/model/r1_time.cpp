@@ -1,0 +1,9 @@
+// R1.wall_clock fixture: wall-clock reads outside src/obs/.
+#include <chrono>
+#include <ctime>
+
+long long fixture_stamp() {
+  const long long t = static_cast<long long>(std::time(nullptr));
+  const auto now = std::chrono::system_clock::now();
+  return t + now.time_since_epoch().count();
+}

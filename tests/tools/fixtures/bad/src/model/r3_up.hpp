@@ -1,0 +1,3 @@
+// R3.layering fixture: a low layer including up into exp/.
+#pragma once
+#include "exp/scenario_spec.hpp"

@@ -1,0 +1,7 @@
+// R2.raw_engine fixture: raw std:: engine seeded outside src/util/.
+#include <random>
+
+unsigned fixture_draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<unsigned>(gen());
+}

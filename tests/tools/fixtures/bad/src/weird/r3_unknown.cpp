@@ -1,0 +1,2 @@
+// R3.unknown_layer fixture: src/weird/ is not in the declared DAG.
+int fixture_unknown() { return 1; }

@@ -1,0 +1,10 @@
+// Good fixture: unordered containers are allowed OUTSIDE
+// serialization/report paths (engine-internal scratch state whose
+// iteration order never reaches emitted bytes).
+#include <unordered_map>
+
+int fixture_count_distinct(const int* xs, int n) {
+  std::unordered_map<int, int> seen;
+  for (int i = 0; i < n; ++i) ++seen[xs[i]];
+  return static_cast<int>(seen.size());
+}

@@ -1,0 +1,8 @@
+// Good fixture: src/util/ is the one place raw std:: engines may appear
+// (the hash(seed, salt) helpers themselves are built here).
+#include <random>
+
+unsigned fixture_reference_draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<unsigned>(gen());
+}
