@@ -52,7 +52,76 @@ void append_stats_csv(std::string& out, const Stats& s) {
   out += fmt(s.max());
 }
 
+// Same 16-hex-digit rendering exp/shard uses for grid fingerprints.
+std::string fp_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
 }  // namespace
+
+const std::vector<CellStatsField>& cell_stats_fields() {
+  static const std::vector<CellStatsField> kFields = {
+      {"decision_round", &CellAggregate::decision_round},
+      {"rounds_after_cst", &CellAggregate::rounds_after_cst},
+      {"rounds_executed", &CellAggregate::rounds_executed},
+      {"surviving_fraction", &CellAggregate::surviving_fraction},
+      {"coverage_rounds", &CellAggregate::coverage_rounds},
+      {"coverage_fraction", &CellAggregate::coverage_fraction},
+      {"mis_size", &CellAggregate::mis_size},
+      {"mis_settle_round", &CellAggregate::mis_settle_round},
+      {"messages_per_node", &CellAggregate::messages_per_node},
+      {"diameter", &CellAggregate::diameter},
+      {"sync_skew_us", &CellAggregate::sync_skew_us},
+      {"sync_bound_us", &CellAggregate::sync_bound_us},
+      {"sync_agreement", &CellAggregate::sync_agreement},
+  };
+  return kFields;
+}
+
+std::uint64_t stats_bytes_retained(const std::vector<CellAggregate>& cells) {
+  std::uint64_t bytes = 0;
+  for (const CellAggregate& cell : cells) {
+    for (const CellStatsField& f : cell_stats_fields()) {
+      bytes += (cell.*(f.member)).bytes_retained();
+    }
+  }
+  return bytes;
+}
+
+std::string cells_to_dist_json(const SweepGrid& grid,
+                               const std::vector<CellAggregate>& cells) {
+  std::string out = "{\"format\":\"ccd-dist-v1\"";
+  out += ",\"grid_fingerprint\":\"" + fp_hex(grid.fingerprint()) + "\"";
+  out += ",\"grid_seed\":" + std::to_string(grid.grid_seed);
+  out += ",\"seeds_per_cell\":" + std::to_string(grid.seeds_per_cell);
+  out += ",\"num_cells\":" + std::to_string(grid.num_cells());
+  out += ",\"cells\":[";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellAggregate& cell = cells[c];
+    if (c > 0) out += ",";
+    out += "{\"cell\":" + std::to_string(cell.cell_index);
+    out += ",\"spec\":" + cell.spec.cell_key();
+    out += ",\"runs\":" + std::to_string(cell.runs);
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const CellStatsField& f : cell_stats_fields()) {
+      const Stats& s = cell.*(f.member);
+      if (s.empty()) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += f.name;
+      out += "\":";
+      out += stats_to_json(s);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
 
 CellAggregate empty_cell_aggregate(const SweepGrid& grid,
                                    std::size_t cell_index) {

@@ -40,16 +40,20 @@ struct CellAggregate {
 
   // Crash metrics over the multihop phase (spec.fault != none).  Coverage
   // and MIS statistics above are already conditioned on survivors.
+  // Genuinely real-valued metrics (fractions, ratios, microseconds) opt
+  // into raw-sample retention; everything else is integer-valued and uses
+  // the default sparse-histogram storage (memory bounded by distinct
+  // values, not run count -- see util/stats.hpp).
   std::size_t mh_crashes_applied = 0;  ///< crashes landed, total over runs
   std::size_t phase2_skipped = 0;      ///< mis-then-consensus: no surviving
                                        ///< head, so phase 2 never ran
-  Stats surviving_fraction;            ///< alive at end / n, all mh runs
+  Stats surviving_fraction{Stats::Mode::kRawSamples};  ///< alive at end / n
 
   Stats coverage_rounds;     ///< flood: rounds to full coverage (when reached)
-  Stats coverage_fraction;   ///< flood: survivors reached / n, all runs
+  Stats coverage_fraction{Stats::Mode::kRawSamples};  ///< reached / n
   Stats mis_size;            ///< surviving heads elected
   Stats mis_settle_round;    ///< first all-settled round (when settled)
-  Stats messages_per_node;   ///< broadcasts / n over the multihop phase
+  Stats messages_per_node{Stats::Mode::kRawSamples};  ///< broadcasts / n
   Stats diameter;            ///< hop diameter, connected runs only
 
   // Round-sync workload (the E13 substrate validation).  Rendered as a
@@ -58,10 +62,19 @@ struct CellAggregate {
   // the JSON report only.
   std::size_t sync_runs = 0;
   std::size_t sync_bound_violations = 0;  ///< measured skew over the bound
-  Stats sync_skew_us;     ///< measured max pairwise skew (microseconds)
-  Stats sync_bound_us;    ///< analytic skew bound (microseconds)
-  Stats sync_agreement;   ///< guarded round-number agreement fraction
+  Stats sync_skew_us{Stats::Mode::kRawSamples};    ///< max pairwise skew (us)
+  Stats sync_bound_us{Stats::Mode::kRawSamples};   ///< analytic bound (us)
+  Stats sync_agreement{Stats::Mode::kRawSamples};  ///< agreement fraction
 };
+
+/// Fixed (name, member) table over CellAggregate's 13 Stats members, in
+/// serialization order.  Shared by the shard-report codec and the dist
+/// export so the two can never drift.
+struct CellStatsField {
+  const char* name;
+  Stats CellAggregate::* member;
+};
+const std::vector<CellStatsField>& cell_stats_fields();
 
 std::vector<CellAggregate> aggregate(const SweepGrid& grid,
                                      const std::vector<RunRecord>& records);
@@ -85,6 +98,19 @@ void merge_cell_aggregate(CellAggregate& dst, const CellAggregate& src);
 
 /// Deterministic JSON report: grid metadata + one object per cell.
 std::string aggregates_to_json(const SweepGrid& grid,
+                               const std::vector<CellAggregate>& cells);
+
+/// Deterministic bytes retained by all Stats across `cells` (histogram
+/// bins vs raw sample buffers).  This is the perf sidecar's
+/// stats_bytes_retained counter: at 1e6 runs/cell it stays bounded by the
+/// number of distinct metric values, which is the memory-wall win.
+std::uint64_t stats_bytes_retained(const std::vector<CellAggregate>& cells);
+
+/// Full per-cell distribution export ("ccd-dist-v1"): every non-empty
+/// Stats member serialized losslessly (histogram bins or raw samples) --
+/// the distribution detail the five-number summary report discards.
+/// `cells` may be a shard subset; each entry carries its cell index.
+std::string cells_to_dist_json(const SweepGrid& grid,
                                const std::vector<CellAggregate>& cells);
 
 /// Flat CSV, one row per cell; header first.

@@ -33,25 +33,8 @@ constexpr CounterField kCounters[] = {
     {"sync_bound_violations", &CellAggregate::sync_bound_violations},
 };
 
-struct StatsField {
-  const char* key;
-  Stats CellAggregate::* member;
-};
-constexpr StatsField kStats[] = {
-    {"decision_round", &CellAggregate::decision_round},
-    {"rounds_after_cst", &CellAggregate::rounds_after_cst},
-    {"rounds_executed", &CellAggregate::rounds_executed},
-    {"surviving_fraction", &CellAggregate::surviving_fraction},
-    {"coverage_rounds", &CellAggregate::coverage_rounds},
-    {"coverage_fraction", &CellAggregate::coverage_fraction},
-    {"mis_size", &CellAggregate::mis_size},
-    {"mis_settle_round", &CellAggregate::mis_settle_round},
-    {"messages_per_node", &CellAggregate::messages_per_node},
-    {"diameter", &CellAggregate::diameter},
-    {"sync_skew_us", &CellAggregate::sync_skew_us},
-    {"sync_bound_us", &CellAggregate::sync_bound_us},
-    {"sync_agreement", &CellAggregate::sync_agreement},
-};
+// (The Stats members use the shared cell_stats_fields() table from
+// aggregator.hpp, so the dist export and this codec can never drift.)
 
 /// "12" or "3..17" (inclusive) range rendering for coverage errors.
 std::string render_ranges(const std::vector<std::size_t>& cells) {
@@ -77,11 +60,14 @@ std::string cell_aggregate_to_json(const CellAggregate& cell) {
     out += f.key;
     out += "\":" + std::to_string(cell.*(f.member));
   }
-  for (const StatsField& f : kStats) {
+  for (const CellStatsField& f : cell_stats_fields()) {
     out += ",\"";
-    out += f.key;
+    out += f.name;
     out += "\":";
-    jsonu::append_double_array(out, (cell.*(f.member)).samples());
+    // v2 encoding: {"h":[key,count,...]} for histogram-mode statistics
+    // (the common case -- every count-like metric), {"raw":[...]} for the
+    // real-valued opt-ins.  Both are exact.
+    out += stats_to_json(cell.*(f.member));
   }
   out += "}";
   return out;
@@ -123,25 +109,23 @@ std::optional<CellAggregate> cell_aggregate_from_json(const SweepGrid& grid,
     }
     cell.*(f.member) = static_cast<std::size_t>(v);
   }
-  for (const StatsField& f : kStats) {
-    const std::string* raw = flat->find(f.key);
+  for (const CellStatsField& f : cell_stats_fields()) {
+    const std::string* raw = flat->find(f.name);
     if (!raw) return fail(std::string("cell aggregate missing key '") +
-                          f.key + "'");
-    auto samples = jsonu::parse_double_array(*raw);
-    if (!samples) {
-      return fail(std::string("key '") + f.key +
-                  "' must be an array of numbers");
+                          f.name + "'");
+    // Histogram bins install by count addition; raw buffers (and legacy
+    // v1 bare sample arrays) replay via add() in insertion order.  Either
+    // way the worker's accumulator state is reproduced exactly.
+    std::string stats_error;
+    if (!stats_from_json(*raw, &(cell.*(f.member)), &stats_error)) {
+      return fail(std::string("key '") + f.name + "': " + stats_error);
     }
-    // add() replay reproduces the worker's accumulator state exactly
-    // (samples are serialized losslessly and in insertion order).
-    Stats& stats = cell.*(f.member);
-    for (double x : *samples) stats.add(x);
   }
   return cell;
 }
 
 std::string ShardReport::to_json() const {
-  std::string out = "{\"format\":\"ccd-shard-report-v1\"";
+  std::string out = "{\"format\":\"ccd-shard-report-v2\"";
   out += ",\"shard_index\":" + std::to_string(shard.shard_index);
   out += ",\"shard_count\":" + std::to_string(shard.shard_count);
   out += ",\"mode\":\"";
@@ -166,10 +150,15 @@ std::optional<ShardReport> ShardReport::from_json(const std::string& json,
   };
   auto flat = jsonu::FlatJson::parse(json);
   if (!flat) return fail("shard report is not a flat JSON object");
+  // v2 encodes statistics as histograms/raw-buffer objects; v1 (the
+  // legacy format) as bare sample arrays.  The per-stats decoder accepts
+  // both, so old shard reports keep merging.
   const std::string* format = flat->find("format");
-  if (!format || *format != "ccd-shard-report-v1") {
+  if (!format || (*format != "ccd-shard-report-v2" &&
+                  *format != "ccd-shard-report-v1")) {
     return fail(
-        "missing or unknown \"format\" (expected ccd-shard-report-v1)");
+        "missing or unknown \"format\" (expected ccd-shard-report-v2 or the "
+        "legacy ccd-shard-report-v1)");
   }
 
   // The report header doubles as a shard spec; reuse its parser (and its

@@ -2,12 +2,17 @@
 // that recombines K of them into the exact full-grid aggregates.
 //
 // A report serializes each owned cell's CellAggregate with its statistics
-// as RAW SAMPLE BUFFERS (lossless shortest-round-trip doubles), not as
-// pre-rendered summaries -- so ccd_merge can rebuild every Stats by add()
-// replay and hand the merged cells to the same aggregates_to_json /
-// aggregates_to_csv renderers ccd_sweep uses.  The merged report is
-// byte-identical to a single-process full-grid run; a ctest target and a
-// CI smoke step both enforce this.
+// in full -- sparse histogram bins for integer-valued metrics, raw sample
+// buffers (lossless shortest-round-trip doubles) for the real-valued
+// opt-ins -- not as pre-rendered summaries.  ccd_merge rebuilds every
+// Stats exactly (bin addition / add() replay) and hands the merged cells
+// to the same aggregates_to_json / aggregates_to_csv renderers ccd_sweep
+// uses.  The merged report is byte-identical to a single-process
+// full-grid run; a ctest target and a CI smoke step both enforce this.
+//
+// Format history: "ccd-shard-report-v2" (current) encodes each statistic
+// as {"h":[key,count,...]} or {"raw":[...]}; the legacy v1 format
+// (bare sample arrays) is still read back exactly.
 #pragma once
 
 #include <optional>
@@ -25,14 +30,16 @@ struct ShardReport {
   /// Aggregates for exactly the cells the shard owns, ascending cell index.
   std::vector<CellAggregate> cells;
 
-  /// "ccd-shard-report-v1" JSON.
+  /// "ccd-shard-report-v2" JSON.
   std::string to_json() const;
+  /// Accepts v2 and the legacy v1 format.
   static std::optional<ShardReport> from_json(const std::string& json,
                                               std::string* error = nullptr);
 };
 
-/// One cell's aggregate as a flat JSON object (counters + sample arrays).
-/// Exposed for the checkpoint file, which is a JSONL stream of these.
+/// One cell's aggregate as a flat JSON object (counters + per-statistic
+/// histogram/raw encodings).  Exposed for the checkpoint file, which is a
+/// JSONL stream of these.
 std::string cell_aggregate_to_json(const CellAggregate& cell);
 /// Inverse; the spec member is NOT serialized (cell identity is derived
 /// from the grid at merge time), so `grid` supplies it.

@@ -199,6 +199,11 @@ std::optional<ShardReport> run_shard(const ShardSpec& shard,
       report.cells.push_back(std::move(fresh_cells.at(c)));
     }
   }
+  // Stamp the memory-wall metric into the sidecar-to-be: how many bytes
+  // the aggregator actually retained for this shard's cells.
+  if (sweep.perf) {
+    sweep.perf->stats_bytes_retained = stats_bytes_retained(report.cells);
+  }
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "util/flat_json.hpp"
+#include "util/histogram.hpp"
 
 namespace ccd::obs {
 
@@ -91,16 +92,18 @@ bool parse_counters(const std::string& raw, EngineCounters& counters,
   return true;
 }
 
-/// Nearest-rank percentile over a sorted duration buffer; p in [0, 100].
-std::uint64_t percentile_ns(const std::vector<std::uint64_t>& sorted,
-                            double p) {
-  if (sorted.empty()) return 0;
-  const double rank = p / 100.0 * static_cast<double>(sorted.size());
-  std::size_t k = static_cast<std::size_t>(rank);
+/// Nearest-rank percentile over a duration histogram; p in [0, 100].
+/// Identical to the classic sorted-buffer formula (k = ceil(p*n/100),
+/// clamped to [1,n], k-th smallest), read out of cumulative bin counts.
+std::uint64_t percentile_ns(const ExactHistogram& durations, double p) {
+  if (durations.empty()) return 0;
+  const std::uint64_t n = durations.total();
+  const double rank = p / 100.0 * static_cast<double>(n);
+  std::uint64_t k = static_cast<std::uint64_t>(rank);
   if (static_cast<double>(k) < rank) ++k;  // ceil
   if (k == 0) k = 1;
-  if (k > sorted.size()) k = sorted.size();
-  return sorted[k - 1];
+  if (k > n) k = n;
+  return static_cast<std::uint64_t>(durations.value_at_rank(k - 1));
 }
 
 }  // namespace
@@ -109,6 +112,7 @@ std::string PerfSidecar::to_json() const {
   std::string out = "{\"format\":\"ccd-perf-sidecar-v1\"";
   out += ",\"grid_fingerprint\":\"" + fp_to_hex(grid_fingerprint) + "\"";
   out += ",\"runs\":" + std::to_string(runs);
+  out += ",\"stats_bytes_retained\":" + std::to_string(stats_bytes_retained);
   out += ",\"counters\":";
   append_counters(out, counters);
   out += ",\"shards\":[";
@@ -169,6 +173,12 @@ std::optional<PerfSidecar> PerfSidecar::from_json(const std::string& json,
   }
   sidecar.grid_fingerprint = *fp;
   if (!need_u64(*flat, "runs", sidecar.runs, error, "perf sidecar")) {
+    return std::nullopt;
+  }
+  // Optional: sidecars written before the histogram-stats work lack it.
+  if (flat->find("stats_bytes_retained") &&
+      !need_u64(*flat, "stats_bytes_retained", sidecar.stats_bytes_retained,
+                error, "perf sidecar")) {
     return std::nullopt;
   }
   const std::string* counters_raw = flat->find("counters");
@@ -247,6 +257,7 @@ PerfSidecar build_perf_sidecar(std::uint64_t grid_fingerprint,
   PerfSidecar sidecar;
   sidecar.grid_fingerprint = grid_fingerprint;
   sidecar.runs = perf.runs;
+  sidecar.stats_bytes_retained = perf.stats_bytes_retained;
   sidecar.counters = perf.counters;
 
   PerfShardExec shard;
@@ -258,7 +269,11 @@ PerfSidecar build_perf_sidecar(std::uint64_t grid_fingerprint,
   shard.runs = perf.runs;
   std::vector<PerfWorker> workers(perf.threads);
   for (std::uint32_t w = 0; w < perf.threads; ++w) workers[w].worker = w;
-  std::map<std::uint64_t, std::vector<std::uint64_t>> by_cell;
+  // Durations fold straight into per-cell histograms: ranked percentiles
+  // come from cumulative bin counts instead of a sort, and a cell's
+  // footprint is its distinct-duration count, not its run count.
+  std::map<std::uint64_t, ExactHistogram> by_cell;
+  std::map<std::uint64_t, std::uint64_t> total_by_cell;
   for (const RunSpan& span : perf.spans) {
     const std::uint64_t dur =
         span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
@@ -266,19 +281,19 @@ PerfSidecar build_perf_sidecar(std::uint64_t grid_fingerprint,
       workers[span.worker].busy_ns += dur;
       ++workers[span.worker].runs;
     }
-    by_cell[span.cell_index].push_back(dur);
+    by_cell[span.cell_index].add(static_cast<std::int64_t>(dur));
+    total_by_cell[span.cell_index] += dur;
   }
   shard.workers = std::move(workers);
   sidecar.shards.push_back(std::move(shard));
 
-  for (auto& [cell_index, durations] : by_cell) {
-    std::sort(durations.begin(), durations.end());
+  for (const auto& [cell_index, durations] : by_cell) {
     PerfCell cell;
     cell.cell_index = cell_index;
-    cell.runs = durations.size();
-    for (std::uint64_t d : durations) cell.total_ns += d;
-    cell.min_ns = durations.front();
-    cell.max_ns = durations.back();
+    cell.runs = durations.total();
+    cell.total_ns = total_by_cell[cell_index];
+    cell.min_ns = static_cast<std::uint64_t>(durations.min_key());
+    cell.max_ns = static_cast<std::uint64_t>(durations.max_key());
     cell.p50_ns = percentile_ns(durations, 50.0);
     cell.p95_ns = percentile_ns(durations, 95.0);
     sidecar.cells.push_back(cell);
@@ -307,6 +322,7 @@ std::optional<PerfSidecar> merge_perf_sidecars(
                   " (sidecars from different grids cannot merge)");
     }
     merged.runs += s.runs;
+    merged.stats_bytes_retained += s.stats_bytes_retained;
     merged.counters.add(s.counters);
     for (const PerfShardExec& shard : s.shards) {
       merged.shards.push_back(shard);

@@ -15,6 +15,8 @@
 //   {"format":"ccd-perf-sidecar-v1",
 //    "grid_fingerprint":"<16 hex>",
 //    "runs":N,
+//    "stats_bytes_retained":B,   // aggregator Stats footprint; optional on
+//                                // parse (older sidecars predate it)
 //    "counters":{"rounds":..,...},            // EngineCounters totals
 //    "shards":[{"shard_index":i,"shard_count":K,"wall_ns":..,"drain_ns":..,
 //               "threads":T,"runs":N,
@@ -53,6 +55,11 @@ struct SweepPerf {
   /// its last run (the window where the static partition wastes cores --
   /// the number the future work-stealing dispatcher exists to shrink).
   std::uint64_t drain_ns = 0;
+  /// Bytes the aggregator's Stats retain after folding every run
+  /// (histogram bins vs raw sample buffers; see exp::stats_bytes_retained).
+  /// Deterministic, so it survives merges exactly.  The CLI fills it after
+  /// aggregation; 0 when the caller never measured it.
+  std::uint64_t stats_bytes_retained = 0;
   EngineCounters counters;     ///< deterministic totals over all runs
   std::vector<RunSpan> spans;  ///< one per run, in slot (run) order
 };
@@ -92,6 +99,7 @@ struct PerfCell {
 struct PerfSidecar {
   std::uint64_t grid_fingerprint = 0;
   std::uint64_t runs = 0;
+  std::uint64_t stats_bytes_retained = 0;  ///< sums exactly across merges
   EngineCounters counters;
   std::vector<PerfShardExec> shards;
   std::vector<PerfCell> cells;  ///< ascending cell index

@@ -1,0 +1,75 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccd {
+
+void ExactHistogram::add(std::int64_t key, std::uint64_t count) {
+  if (count == 0) return;
+  auto it = std::lower_bound(
+      bins_.begin(), bins_.end(), key,
+      [](const Bin& bin, std::int64_t k) { return bin.first < k; });
+  if (it != bins_.end() && it->first == key) {
+    it->second += count;
+  } else {
+    bins_.insert(it, Bin{key, count});
+  }
+  total_ += count;
+}
+
+void ExactHistogram::merge_from(const ExactHistogram& other) {
+  if (&other == this) {
+    // Self-merge doubles every count.
+    for (Bin& bin : bins_) bin.second += bin.second;
+    total_ += total_;
+    return;
+  }
+  if (other.bins_.empty()) return;
+  std::vector<Bin> merged;
+  merged.reserve(bins_.size() + other.bins_.size());
+  auto a = bins_.begin();
+  auto b = other.bins_.begin();
+  while (a != bins_.end() && b != other.bins_.end()) {
+    if (a->first < b->first) {
+      merged.push_back(*a++);
+    } else if (b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, bins_.end());
+  merged.insert(merged.end(), b, other.bins_.end());
+  bins_ = std::move(merged);
+  total_ += other.total_;
+}
+
+void ExactHistogram::clear() {
+  bins_.clear();
+  total_ = 0;
+}
+
+std::int64_t ExactHistogram::min_key() const {
+  assert(!bins_.empty());
+  return bins_.front().first;
+}
+
+std::int64_t ExactHistogram::max_key() const {
+  assert(!bins_.empty());
+  return bins_.back().first;
+}
+
+std::int64_t ExactHistogram::value_at_rank(std::uint64_t rank) const {
+  assert(rank < total_);
+  std::uint64_t seen = 0;
+  for (const Bin& bin : bins_) {
+    seen += bin.second;
+    if (rank < seen) return bin.first;
+  }
+  return bins_.back().first;  // unreachable when rank < total_
+}
+
+}  // namespace ccd

@@ -1,0 +1,55 @@
+// Exact sparse counting histogram over integer keys.
+//
+// This is the storage engine behind Stats' default mode: every metric the
+// aggregator records per run is a small integer (rounds, messages, MIS
+// size), so a sorted (key, count) vector is lossless, its memory is
+// bounded by the number of DISTINCT values rather than the sample count,
+// and two histograms merge by adding counts -- no floating-point fold
+// order to preserve, which is what makes shard merges byte-identical by
+// construction instead of by careful replay.
+//
+// Ranked access (value_at_rank) walks the cumulative counts, so exact
+// percentiles over millions of samples cost O(#bins), not O(n log n).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccd {
+
+class ExactHistogram {
+ public:
+  /// (key, count); counts are always > 0 and keys strictly ascending.
+  using Bin = std::pair<std::int64_t, std::uint64_t>;
+
+  void add(std::int64_t key, std::uint64_t count = 1);
+
+  /// Additive merge: per-key count sums.  Order-free and associative, so
+  /// any shard split recombines to the same histogram.  `other` may alias
+  /// `this`.
+  void merge_from(const ExactHistogram& other);
+
+  void clear();
+
+  const std::vector<Bin>& bins() const { return bins_; }
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return bins_.empty(); }
+  std::int64_t min_key() const;
+  std::int64_t max_key() const;
+
+  /// rank in [0, total()): the rank-th smallest element of the multiset
+  /// (0-based).  rank 0 is min_key(), rank total()-1 is max_key().
+  std::int64_t value_at_rank(std::uint64_t rank) const;
+
+  /// Bytes held by the sparse bin storage: distinct keys * sizeof(Bin).
+  /// Deterministic (uses size, not capacity) so it can live in reports.
+  std::size_t bytes_retained() const { return bins_.size() * sizeof(Bin); }
+
+ private:
+  std::vector<Bin> bins_;  ///< sorted by key
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ccd

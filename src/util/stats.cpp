@@ -2,11 +2,51 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
+
+#include "util/flat_json.hpp"
 
 namespace ccd {
+namespace {
 
-void Stats::add(double x) {
+// 2^53: the edge of the window where every integer is exactly one double.
+constexpr double kMaxExactInt = 9007199254740992.0;
+
+// True iff x is an integer the histogram can hold losslessly; -0.0 is
+// excluded so a raw-mode min() of -0.0 cannot silently become +0.0.
+bool integral_key(double x, std::int64_t* key) {
+  if (!(x >= -kMaxExactInt && x <= kMaxExactInt)) return false;  // NaN/inf too
+  if (x != std::trunc(x)) return false;
+  if (x == 0.0 && std::signbit(x)) return false;
+  *key = static_cast<std::int64_t>(x);
+  return true;
+}
+
+// Exact integer moments of the histogram multiset.  __int128 keeps the
+// accumulation integer-exact; the single conversion to double at the end
+// rounds exactly once, matching what the sequential double fold produces
+// while the running sum stays inside the 2^53 window.
+double exact_sum(const ExactHistogram& h) {
+  __int128 sum = 0;
+  for (const auto& [key, cnt] : h.bins()) {
+    sum += static_cast<__int128>(key) * static_cast<__int128>(cnt);
+  }
+  return static_cast<double>(sum);
+}
+
+double exact_sum_sq(const ExactHistogram& h) {
+  __int128 sum = 0;
+  for (const auto& [key, cnt] : h.bins()) {
+    sum += static_cast<__int128>(key) * key * static_cast<__int128>(cnt);
+  }
+  return static_cast<double>(sum);
+}
+
+}  // namespace
+
+void Stats::raw_add(double x) {
   if (samples_.empty() || x < min_) min_ = x;
   if (samples_.empty() || x > max_) max_ = x;
   samples_.push_back(x);
@@ -15,14 +55,85 @@ void Stats::add(double x) {
   sorted_valid_ = false;
 }
 
-void Stats::merge_from(const Stats& other) {
-  // Replaying add() (rather than summing the accumulators) keeps the
-  // floating-point fold order identical to a single-pass accumulation, so
-  // sum_/sum_sq_ are exact, not merely close.  `other` may alias `this`:
-  // snapshot the count first (samples_ may reallocate mid-loop).
-  const std::size_t count = other.samples_.size();
+void Stats::demote_to_raw() {
+  // Materialize the multiset in ascending key order and replay it through
+  // the raw accumulators.  For the integer-only prefix the histogram held,
+  // the ascending-order double sum equals the arrival-order sum exactly
+  // (integer sums in the 2^53 window are order-free), so the demoted
+  // accumulator is bit-identical to one that had been raw all along.
+  hist_active_ = false;
+  samples_.reserve(hist_.total());
+  for (const auto& [key, cnt] : hist_.bins()) {
+    const double x = static_cast<double>(key);
+    for (std::uint64_t i = 0; i < cnt; ++i) raw_add(x);
+  }
+  hist_.clear();
+}
+
+void Stats::add(double x) {
+  if (hist_active_) {
+    std::int64_t key = 0;
+    if (integral_key(x, &key)) {
+      hist_.add(key, 1);
+      return;
+    }
+    demote_to_raw();
+  }
+  raw_add(x);
+}
+
+void Stats::add_bin(std::int64_t key, std::uint64_t count) {
+  if (hist_active_) {
+    hist_.add(key, count);
+    return;
+  }
+  const double x = static_cast<double>(key);
   samples_.reserve(samples_.size() + count);
-  for (std::size_t i = 0; i < count; ++i) add(other.samples_[i]);
+  for (std::uint64_t i = 0; i < count; ++i) raw_add(x);
+}
+
+void Stats::merge_from(const Stats& other) {
+  if (hist_active_ && other.hist_active_) {
+    hist_.merge_from(other.hist_);  // alias-safe
+    return;
+  }
+  if (!other.hist_active_) {
+    // Replay other's buffer in its insertion order, exactly as the
+    // equivalent add() calls would (this may demote us mid-loop).  `other`
+    // may alias `this`: snapshot the count first (samples_ may reallocate
+    // mid-loop).
+    const std::size_t n = other.samples_.size();
+    if (!hist_active_) samples_.reserve(samples_.size() + n);
+    for (std::size_t i = 0; i < n; ++i) add(other.samples_[i]);
+    return;
+  }
+  // this raw, other histogram (modes differ, so no aliasing): append
+  // other's multiset in ascending key order.
+  samples_.reserve(samples_.size() + other.hist_.total());
+  for (const auto& [key, cnt] : other.hist_.bins()) {
+    const double x = static_cast<double>(key);
+    for (std::uint64_t i = 0; i < cnt; ++i) raw_add(x);
+  }
+}
+
+const ExactHistogram& Stats::histogram() const {
+  assert(hist_active_);
+  return hist_;
+}
+
+const std::vector<double>& Stats::samples() const {
+  assert(!hist_active_);
+  return samples_;
+}
+
+std::size_t Stats::count() const {
+  return hist_active_ ? static_cast<std::size_t>(hist_.total())
+                      : samples_.size();
+}
+
+std::size_t Stats::bytes_retained() const {
+  return hist_active_ ? hist_.bytes_retained()
+                      : samples_.size() * sizeof(double);
 }
 
 void Stats::ensure_sorted() const {
@@ -34,30 +145,47 @@ void Stats::ensure_sorted() const {
 }
 
 double Stats::min() const {
-  assert(!samples_.empty());
-  return min_;
+  assert(!empty());
+  return hist_active_ ? static_cast<double>(hist_.min_key()) : min_;
 }
 
 double Stats::max() const {
-  assert(!samples_.empty());
-  return max_;
+  assert(!empty());
+  return hist_active_ ? static_cast<double>(hist_.max_key()) : max_;
 }
 
 double Stats::mean() const {
-  assert(!samples_.empty());
-  return sum_ / static_cast<double>(samples_.size());
+  assert(!empty());
+  const double sum = hist_active_ ? exact_sum(hist_) : sum_;
+  return sum / static_cast<double>(count());
 }
 
 double Stats::stddev() const {
-  assert(!samples_.empty());
-  const double n = static_cast<double>(samples_.size());
+  assert(!empty());
+  const double n = static_cast<double>(count());
   const double m = mean();
-  const double var = sum_sq_ / n - m * m;
+  const double sq = hist_active_ ? exact_sum_sq(hist_) : sum_sq_;
+  const double var = sq / n - m * m;
   return var > 0 ? std::sqrt(var) : 0.0;
 }
 
 double Stats::percentile(double p) const {
-  assert(!samples_.empty());
+  assert(!empty());
+  if (hist_active_) {
+    // Same linear-interpolation formula as the raw path below, reading
+    // ranked values out of the cumulative bin counts; integer-valued
+    // doubles make the arithmetic bit-identical across modes.
+    if (p <= 0) return static_cast<double>(hist_.min_key());
+    if (p >= 100) return static_cast<double>(hist_.max_key());
+    const std::uint64_t n = hist_.total();
+    const double rank = p / 100.0 * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::uint64_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    const double at_lo = static_cast<double>(hist_.value_at_rank(lo));
+    if (lo + 1 >= n) return at_lo;
+    const double at_hi = static_cast<double>(hist_.value_at_rank(lo + 1));
+    return at_lo * (1.0 - frac) + at_hi * frac;
+  }
   ensure_sorted();
   if (p <= 0) return sorted_.front();
   if (p >= 100) return sorted_.back();
@@ -66,6 +194,95 @@ double Stats::percentile(double p) const {
   const double frac = rank - static_cast<double>(lo);
   if (lo + 1 >= sorted_.size()) return sorted_.back();
   return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+// ---- serialization ---------------------------------------------------------
+
+std::string stats_to_json(const Stats& s) {
+  std::string out;
+  if (s.histogram_active()) {
+    out += "{\"h\":[";
+    bool first = true;
+    for (const auto& [key, cnt] : s.histogram().bins()) {
+      if (!first) out += ',';
+      first = false;
+      out += std::to_string(key);
+      out += ',';
+      out += std::to_string(cnt);
+    }
+    out += "]}";
+  } else {
+    out += "{\"raw\":";
+    jsonu::append_double_array(out, s.samples());
+    out += '}';
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_i64(const std::string& text, std::int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool fail(std::string* error, const char* what) {
+  if (error) *error = what;
+  return false;
+}
+
+}  // namespace
+
+bool stats_from_json(std::string_view raw, Stats* into, std::string* error) {
+  std::size_t start = raw.find_first_not_of(" \t\r\n");
+  if (start == std::string_view::npos) return fail(error, "stats: empty");
+  const std::string text(raw.substr(start));
+  if (text[0] == '[') {
+    // Legacy shard-v1 encoding: bare sample array, replayed via add() in
+    // serialized (= insertion) order.
+    auto xs = jsonu::parse_double_array(text);
+    if (!xs) return fail(error, "stats: bad legacy sample array");
+    for (double x : *xs) into->add(x);
+    return true;
+  }
+  auto obj = jsonu::FlatJson::parse(text);
+  if (!obj) return fail(error, "stats: not an object or array");
+  if (const std::string* h = obj->find("h")) {
+    auto items = jsonu::parse_array_items(*h);
+    if (!items || items->size() % 2 != 0) {
+      return fail(error, "stats: bad histogram array");
+    }
+    for (std::size_t i = 0; i < items->size(); i += 2) {
+      std::int64_t key = 0;
+      std::uint64_t cnt = 0;
+      if (!parse_i64((*items)[i], &key) || !parse_u64((*items)[i + 1], &cnt)) {
+        return fail(error, "stats: bad histogram bin");
+      }
+      into->add_bin(key, cnt);
+    }
+    return true;
+  }
+  if (const std::string* r = obj->find("raw")) {
+    auto xs = jsonu::parse_double_array(*r);
+    if (!xs) return fail(error, "stats: bad raw sample array");
+    for (double x : *xs) into->add(x);
+    return true;
+  }
+  return fail(error, "stats: missing h/raw member");
 }
 
 }  // namespace ccd

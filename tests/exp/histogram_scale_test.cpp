@@ -1,0 +1,126 @@
+// The memory-wall guarantee behind the histogram Stats mode: folding one
+// MILLION runs into a cell retains bytes proportional to the number of
+// DISTINCT metric values, not the run count -- and a 4-way split of those
+// runs, pushed through the shard-report serialization boundary and merged,
+// reproduces the single-pass fold byte-identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/aggregator.hpp"
+#include "exp/shard/shard_report.hpp"
+#include "exp/sweep_grid.hpp"
+#include "exp/sweep_runner.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace ccd::exp {
+namespace {
+
+constexpr std::size_t kRuns = 1'000'000;
+
+SweepGrid one_cell_grid() {
+  SweepGrid grid;
+  grid.algs = {AlgKind::kAlg1};
+  grid.ns = {4};
+  grid.value_spaces = {16};
+  grid.base.cst_target = 5;
+  grid.seeds_per_cell = static_cast<std::uint32_t>(kRuns);
+  grid.grid_seed = 7;
+  return grid;
+}
+
+/// Synthetic solved-consensus record: decision rounds drawn from a small
+/// value set (as real sweeps produce -- round counts cluster), which is
+/// exactly the regime the sparse histogram exists for.
+RunRecord synthetic_record(const SweepGrid& grid, std::size_t run_index,
+                           Rng& rng) {
+  RunRecord r;
+  r.run_index = run_index;
+  r.cell_index = 0;
+  r.spec = grid.spec_for_run(run_index);
+  r.summary.verdict.agreement = true;
+  r.summary.verdict.strong_validity = true;
+  r.summary.verdict.uniform_validity = true;
+  r.summary.verdict.termination = true;
+  const Round decided = static_cast<Round>(3 + rng.below(24));
+  r.summary.verdict.last_decision_round = decided;
+  r.summary.result.last_decision_round = decided;
+  r.summary.result.rounds_executed =
+      decided + static_cast<Round>(rng.below(3));
+  r.summary.result.num_crashed = 0;
+  r.summary.cst = 5;
+  r.summary.rounds_after_cst = decided > 5 ? decided - 5 : 0;
+  return r;
+}
+
+TEST(HistogramScale, MillionRunsRetainBytesBoundedByDistinctValues) {
+  const SweepGrid grid = one_cell_grid();
+  Rng rng(2026);
+  CellAggregate cell = empty_cell_aggregate(grid, 0);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    accumulate_run(cell, synthetic_record(grid, i, rng));
+  }
+  ASSERT_EQ(cell.runs, kRuns);
+  ASSERT_EQ(cell.solved, kRuns);
+
+  // Retention is per distinct value: decision_round has <= 24 distinct
+  // keys, rounds_executed <= 26, rounds_after_cst <= 24.  The raw-sample
+  // path would hold kRuns doubles PER STAT (8 MB each); the histogram
+  // bound is a few KB total no matter how many runs fold in.
+  const std::uint64_t retained = stats_bytes_retained({cell});
+  EXPECT_GT(retained, 0u);
+  EXPECT_LE(retained,
+            (24 + 26 + 24) * sizeof(ExactHistogram::Bin));
+  EXPECT_LT(retained, kRuns * sizeof(double) / 1000);
+
+  EXPECT_TRUE(cell.decision_round.histogram_active());
+  EXPECT_EQ(cell.decision_round.count(), kRuns);
+  EXPECT_LE(cell.decision_round.histogram().bins().size(), 24u);
+}
+
+TEST(HistogramScale, FourWaySplitThroughSerializationMatchesByteForByte) {
+  const SweepGrid grid = one_cell_grid();
+
+  // Single-pass fold in run-index order: the reference.
+  Rng rng(2026);
+  std::vector<RunRecord> records;
+  records.reserve(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    records.push_back(synthetic_record(grid, i, rng));
+  }
+  CellAggregate whole = empty_cell_aggregate(grid, 0);
+  for (const RunRecord& r : records) accumulate_run(whole, r);
+  const std::string whole_json = cell_aggregate_to_json(whole);
+
+  // 4-way interleaved split, each part folded in run-index order, each
+  // part's aggregate pushed through the v2 JSON codec (the process
+  // boundary shard workers cross), then merged in part order.
+  std::vector<CellAggregate> parts;
+  for (int p = 0; p < 4; ++p) {
+    CellAggregate part = empty_cell_aggregate(grid, 0);
+    for (std::size_t i = p; i < kRuns; i += 4) {
+      accumulate_run(part, records[i]);
+    }
+    std::string error;
+    auto round_tripped =
+        cell_aggregate_from_json(grid, cell_aggregate_to_json(part), &error);
+    ASSERT_TRUE(round_tripped.has_value()) << error;
+    parts.push_back(std::move(*round_tripped));
+  }
+  CellAggregate merged = empty_cell_aggregate(grid, 0);
+  for (const CellAggregate& part : parts) {
+    merge_cell_aggregate(merged, part);
+  }
+  EXPECT_EQ(cell_aggregate_to_json(merged), whole_json);
+  EXPECT_EQ(stats_bytes_retained({merged}), stats_bytes_retained({whole}));
+
+  // The rendered report row (the %.4f summary the JSON report shows) and
+  // the dist export agree too.
+  EXPECT_EQ(cells_to_dist_json(grid, {merged}),
+            cells_to_dist_json(grid, {whole}));
+}
+
+}  // namespace
+}  // namespace ccd::exp

@@ -95,7 +95,18 @@ TEST(StatsMerge, EmptySidesAndSelfMerge) {
   s.merge_from(empty);  // no-op
   EXPECT_EQ(s.count(), 2u);
   empty.merge_from(s);
-  EXPECT_EQ(empty.samples(), s.samples());
+  ASSERT_TRUE(empty.histogram_active());
+  EXPECT_EQ(empty.histogram().bins(), s.histogram().bins());
+  s.merge_from(s);  // self-merge must not read stale or reallocated state
+  ASSERT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.histogram().bins(),
+            (std::vector<ExactHistogram::Bin>{{1, 2}, {2, 2}}));
+}
+
+TEST(StatsMerge, RawModeSelfMergeKeepsInsertionOrder) {
+  Stats s{Stats::Mode::kRawSamples};
+  s.add(1.0);
+  s.add(2.0);
   s.merge_from(s);  // self-merge must not read reallocated memory
   ASSERT_EQ(s.count(), 4u);
   EXPECT_EQ(s.samples(), (std::vector<double>{1.0, 2.0, 1.0, 2.0}));

@@ -28,7 +28,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -98,7 +101,11 @@ execution and output:
                        either way; this is purely a throughput escape hatch)
   --json PATH          write aggregate JSON report
   --csv PATH           write per-cell CSV
+  --dist-out PATH      write full per-cell distributions (ccd-dist-v1);
+                       inspect with ccd_report show/diff
   --quiet              suppress the ASCII summary and the live progress line
+  --stale-after SECS   live progress flags workers that have not completed
+                       a run for SECS seconds (default 300; 0 disables)
 
 observability (never changes report bytes; reports are byte-identical
 with or without these):
@@ -265,6 +272,13 @@ class ProgressPrinter {
     if (tty_) std::fputc('\n', stderr);
   }
 
+  /// Extra text appended to each progress line (e.g. stale-worker flags).
+  /// Set before the pool starts; called under the print window, so at most
+  /// one thread at a time.
+  void set_extra(std::function<std::string()> extra) {
+    extra_ = std::move(extra);
+  }
+
  private:
   void print(std::size_t done, std::size_t total, std::uint64_t now_ns) {
     const double secs = static_cast<double>(now_ns) * 1e-9;
@@ -273,8 +287,11 @@ class ProgressPrinter {
         (rate > 0 && done < total)
             ? static_cast<double>(total - done) / rate
             : 0.0;
-    std::fprintf(stderr, "%sccd_sweep: %zu/%zu runs  %.1f runs/s  eta %.0fs%s",
-                 tty_ ? "\r" : "", done, total, rate, eta, tty_ ? "" : "\n");
+    const std::string extra = extra_ ? extra_() : std::string();
+    std::fprintf(stderr,
+                 "%sccd_sweep: %zu/%zu runs  %.1f runs/s  eta %.0fs%s%s",
+                 tty_ ? "\r" : "", done, total, rate, eta, extra.c_str(),
+                 tty_ ? "" : "\n");
     if (tty_) std::fflush(stderr);
   }
 
@@ -282,6 +299,41 @@ class ProgressPrinter {
   std::atomic<std::uint64_t> last_print_ns_{0};
   std::atomic<std::size_t> total_{0};
   bool tty_;
+  std::function<std::string()> extra_;
+};
+
+/// Per-worker last-completion tracking behind the live progress line.  A
+/// worker that has not completed a run for --stale-after seconds while the
+/// sweep is still moving gets flagged: on a shared box that usually means
+/// the thread is starved or wedged on one pathological cell.
+class StaleWatch {
+ public:
+  explicit StaleWatch(std::uint64_t stale_after_secs)
+      : stale_after_ns_(stale_after_secs * 1'000'000'000ull) {}
+
+  void note(std::uint32_t worker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ns_[worker] = timer_.elapsed_ns();
+  }
+
+  /// "  stale-workers:3,7" when any worker is overdue, else "".
+  std::string summary() {
+    const std::uint64_t now = timer_.elapsed_ns();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string stale;
+    for (const auto& [worker, last] : last_ns_) {
+      if (now - last <= stale_after_ns_) continue;
+      if (!stale.empty()) stale += ",";
+      stale += std::to_string(worker);
+    }
+    return stale.empty() ? stale : "  stale-workers:" + stale;
+  }
+
+ private:
+  const std::uint64_t stale_after_ns_;
+  ccd::obs::RunTimer timer_;
+  std::mutex mu_;
+  std::map<std::uint32_t, std::uint64_t> last_ns_;
 };
 
 /// ccd-bench-v1: sweep throughput measured on real sweep runs, derived
@@ -335,8 +387,9 @@ bool parse_shard_of(const std::string& arg, std::size_t& index,
 
 int main(int argc, char** argv) {
   std::string grid_name = "default";
-  std::string json_path, csv_path;
+  std::string json_path, csv_path, dist_path;
   std::string perf_path, trace_path, bench_path;
+  std::uint64_t stale_after_secs = 300;
   unsigned threads = 0;
   bool lanes = true;
   bool quiet = false;
@@ -502,6 +555,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       ok = v != nullptr;
       if (ok) csv_path = v;
+    } else if (flag == "--dist-out") {
+      const char* v = next();
+      ok = v != nullptr;
+      if (ok) dist_path = v;
+    } else if (flag == "--stale-after") {
+      const char* v = next();
+      ok = v && parse_u64_flag(v, "stale-after", stale_after_secs);
     } else if (flag == "--perf-out") {
       const char* v = next();
       ok = v != nullptr;
@@ -612,6 +672,12 @@ int main(int argc, char** argv) {
                  "worker's throughput is not the grid's\n");
     return 2;
   }
+  if (!dist_path.empty() && (have_rerun_cell || emit_shards > 0)) {
+    std::fprintf(stderr,
+                 "ccd_sweep: --dist-out writes aggregated distributions; it "
+                 "conflicts with --rerun-cell and --emit-shards\n");
+    return 2;
+  }
 
   if (shard_file.empty()) {
     if (grid.seeds_per_cell == 0 || grid.num_cells() == 0) {
@@ -719,6 +785,13 @@ int main(int argc, char** argv) {
       shard_options.sweep.perf = &perf;
     }
     ProgressPrinter progress;
+    StaleWatch stale_watch(stale_after_secs);
+    if (!quiet && stale_after_secs > 0) {
+      shard_options.sweep.on_record = [&stale_watch](const RunRecord& r) {
+        stale_watch.note(r.perf.worker);
+      };
+      progress.set_extra([&stale_watch] { return stale_watch.summary(); });
+    }
     if (!quiet) {
       shard_options.sweep.progress = [&progress](std::size_t done,
                                                  std::size_t total) {
@@ -739,6 +812,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (!write_file(json_path, report->to_json())) return 1;
+    if (!dist_path.empty() &&
+        !write_file(dist_path,
+                    cells_to_dist_json(spec.grid, report->cells) + "\n")) {
+      return 1;
+    }
     if (!perf_path.empty()) {
       const obs::PerfSidecar sidecar = obs::build_perf_sidecar(
           spec.grid_fingerprint, spec.shard_index, spec.shard_count, perf);
@@ -766,6 +844,13 @@ int main(int argc, char** argv) {
     options.perf = &perf;
   }
   ProgressPrinter progress;
+  StaleWatch stale_watch(stale_after_secs);
+  if (!quiet && stale_after_secs > 0) {
+    options.on_record = [&stale_watch](const RunRecord& r) {
+      stale_watch.note(r.perf.worker);
+    };
+    progress.set_extra([&stale_watch] { return stale_watch.summary(); });
+  }
   if (!quiet) {
     options.progress = [&progress](std::size_t done, std::size_t total) {
       progress(done, total);
@@ -777,6 +862,9 @@ int main(int argc, char** argv) {
   const std::vector<RunRecord> records = run_sweep(grid, options);
   if (!quiet) progress.finish();
   const std::vector<CellAggregate> cells = aggregate(grid, records);
+  // Memory-wall metric for the sidecar: what the aggregator's Stats
+  // actually retain for this grid (histogram bins, not raw samples).
+  perf.stats_bytes_retained = exp::stats_bytes_retained(cells);
 
   if (!quiet) print_summary(std::cout, grid, cells);
   if (!json_path.empty() &&
@@ -784,6 +872,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!csv_path.empty() && !write_file(csv_path, aggregates_to_csv(cells))) {
+    return 1;
+  }
+  if (!dist_path.empty() &&
+      !write_file(dist_path, cells_to_dist_json(grid, cells) + "\n")) {
     return 1;
   }
   // Observation artifacts last: the report writes above are bytewise
