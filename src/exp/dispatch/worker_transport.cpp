@@ -1,0 +1,91 @@
+#include "exp/dispatch/worker_transport.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
+
+namespace ccd::exp {
+
+LocalProcessTransport::~LocalProcessTransport() {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    kill_worker(static_cast<int>(i));
+  }
+}
+
+int LocalProcessTransport::spawn(const std::vector<std::string>& argv,
+                                 const std::vector<std::string>& env) {
+  if (argv.empty()) return -1;
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    c_argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  c_argv.push_back(nullptr);
+
+  // Inherited environment plus the dispatcher's additions.  Built before
+  // fork so the child only execs -- no allocation between fork and exec.
+  std::vector<std::string> env_storage;
+  for (char** e = environ; *e; ++e) env_storage.push_back(*e);
+  for (const std::string& kv : env) env_storage.push_back(kv);
+  std::vector<char*> c_env;
+  c_env.reserve(env_storage.size() + 1);
+  for (const std::string& kv : env_storage) {
+    c_env.push_back(const_cast<char*>(kv.c_str()));
+  }
+  c_env.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execve(c_argv[0], c_argv.data(), c_env.data());
+    _exit(127);  // exec failed; 127 = "command not found" convention
+  }
+  Child child;
+  child.pid = pid;
+  child.running = true;
+  children_.push_back(child);
+  return static_cast<int>(children_.size() - 1);
+}
+
+WorkerStatus LocalProcessTransport::poll(int handle) {
+  if (handle < 0 || static_cast<std::size_t>(handle) >= children_.size()) {
+    return WorkerStatus{false, 127};
+  }
+  Child& child = children_[static_cast<std::size_t>(handle)];
+  if (!child.running) return child.last;
+  int status = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(child.pid), &status, WNOHANG);
+  if (r == 0) return WorkerStatus{true, 0};
+  child.running = false;
+  child.last.running = false;
+  if (r < 0) {
+    child.last.exit_code = 127;  // already reaped?  treat as failure
+  } else if (WIFEXITED(status)) {
+    child.last.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    child.last.exit_code = 128 + WTERMSIG(status);
+  } else {
+    child.last.exit_code = 127;
+  }
+  return child.last;
+}
+
+void LocalProcessTransport::kill_worker(int handle) {
+  if (handle < 0 || static_cast<std::size_t>(handle) >= children_.size()) {
+    return;
+  }
+  Child& child = children_[static_cast<std::size_t>(handle)];
+  if (!child.running) return;
+  ::kill(static_cast<pid_t>(child.pid), SIGKILL);
+  int status = 0;
+  ::waitpid(static_cast<pid_t>(child.pid), &status, 0);  // reap, no zombies
+  child.running = false;
+  child.last = WorkerStatus{false, 128 + SIGKILL};
+}
+
+}  // namespace ccd::exp

@@ -1,5 +1,6 @@
 #include "exp/shard/shard_plan.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/flat_json.hpp"
@@ -10,6 +11,7 @@ const char* to_string(ShardMode m) {
   switch (m) {
     case ShardMode::kContiguous: return "contiguous";
     case ShardMode::kStrided: return "strided";
+    case ShardMode::kExplicit: return "explicit";
   }
   return "?";
 }
@@ -17,6 +19,7 @@ const char* to_string(ShardMode m) {
 std::optional<ShardMode> parse_shard_mode(const std::string& s) {
   if (s == "contiguous") return ShardMode::kContiguous;
   if (s == "strided") return ShardMode::kStrided;
+  if (s == "explicit") return ShardMode::kExplicit;
   return std::nullopt;
 }
 
@@ -47,25 +50,30 @@ std::optional<std::uint64_t> fingerprint_from_hex(const std::string& s) {
 }
 
 std::vector<std::size_t> ShardSpec::cell_indices() const {
-  std::vector<std::size_t> cells;
+  if (mode == ShardMode::kExplicit) return cells;
+  std::vector<std::size_t> owned;
   const std::size_t n = grid.num_cells();
-  if (shard_count == 0) return cells;
+  if (shard_count == 0) return owned;
   if (mode == ShardMode::kContiguous) {
     const std::size_t begin = shard_index * n / shard_count;
     const std::size_t end = (shard_index + 1) * n / shard_count;
-    cells.reserve(end - begin);
-    for (std::size_t c = begin; c < end; ++c) cells.push_back(c);
+    owned.reserve(end - begin);
+    for (std::size_t c = begin; c < end; ++c) owned.push_back(c);
   } else {
     for (std::size_t c = shard_index; c < n; c += shard_count) {
-      cells.push_back(c);
+      owned.push_back(c);
     }
   }
-  return cells;
+  return owned;
 }
 
 bool ShardSpec::owns_cell(std::size_t cell) const {
   const std::size_t n = grid.num_cells();
-  if (cell >= n || shard_count == 0) return false;
+  if (cell >= n) return false;
+  if (mode == ShardMode::kExplicit) {
+    return std::binary_search(cells.begin(), cells.end(), cell);
+  }
+  if (shard_count == 0) return false;
   if (mode == ShardMode::kStrided) return cell % shard_count == shard_index;
   return cell >= shard_index * n / shard_count &&
          cell < (shard_index + 1) * n / shard_count;
@@ -79,6 +87,14 @@ std::string ShardSpec::to_json() const {
   out += to_string(mode);
   out += "\",\"grid_fingerprint\":\"" + fingerprint_to_hex(grid_fingerprint);
   out += "\",\"grid\":" + grid.to_json();
+  if (mode == ShardMode::kExplicit) {
+    out += ",\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(cells[i]);
+    }
+    out += "]";
+  }
   out += "}";
   return out;
 }
@@ -116,20 +132,24 @@ std::optional<ShardSpec> ShardSpec::from_json(const std::string& json,
     return fail(e);
   }
   if (spec.shard_count == 0) return fail("shard_count must be >= 1");
-  if (spec.shard_index >= spec.shard_count) {
-    return fail("shard_index " + std::to_string(spec.shard_index) +
-                " out of range for shard_count " +
-                std::to_string(spec.shard_count));
-  }
   if (const std::string* raw = flat->find("mode")) {
     auto mode = parse_shard_mode(*raw);
     if (!mode) {
       return fail("bad value '" + *raw +
-                  "' for key 'mode' (expected contiguous or strided)");
+                  "' for key 'mode' (expected contiguous, strided or "
+                  "explicit)");
     }
     spec.mode = *mode;
   } else {
     return fail("missing key 'mode'");
+  }
+  // Derived modes partition by index arithmetic, so the index must name a
+  // real shard.  For explicit specs shard_index is a free-form batch id.
+  if (spec.mode != ShardMode::kExplicit &&
+      spec.shard_index >= spec.shard_count) {
+    return fail("shard_index " + std::to_string(spec.shard_index) +
+                " out of range for shard_count " +
+                std::to_string(spec.shard_count));
   }
 
   const std::string* fp_raw = flat->find("grid_fingerprint");
@@ -157,6 +177,33 @@ std::optional<ShardSpec> ShardSpec::from_json(const std::string& json,
                 fingerprint_to_hex(spec.grid.fingerprint()) +
                 " (stale or hand-edited shard spec?)");
   }
+
+  const std::string* cells_raw = flat->find("cells");
+  if (spec.mode == ShardMode::kExplicit) {
+    if (!cells_raw) return fail("mode explicit needs a 'cells' array");
+    auto items = jsonu::parse_array_items(*cells_raw);
+    if (!items) return fail("'cells' is not a JSON array");
+    spec.cells.reserve(items->size());
+    for (const std::string& item : *items) {
+      char* end = nullptr;
+      const unsigned long long c = std::strtoull(item.c_str(), &end, 10);
+      if (!end || *end != '\0' || item.empty() || item[0] == '-') {
+        return fail("bad cell '" + item + "' in 'cells'");
+      }
+      if (c >= spec.grid.num_cells()) {
+        return fail("cell " + item + " out of range (grid has " +
+                    std::to_string(spec.grid.num_cells()) + " cells)");
+      }
+      if (!spec.cells.empty() && spec.cells.back() >= c) {
+        return fail("'cells' must be strictly ascending (saw " +
+                    std::to_string(spec.cells.back()) + " then " + item +
+                    ")");
+      }
+      spec.cells.push_back(static_cast<std::size_t>(c));
+    }
+  } else if (cells_raw) {
+    return fail("'cells' is only valid with mode explicit");
+  }
   return spec;
 }
 
@@ -176,6 +223,19 @@ std::vector<ShardSpec> ShardPlanner::plan(const SweepGrid& grid,
     shards.push_back(std::move(spec));
   }
   return shards;
+}
+
+ShardSpec ShardPlanner::plan_cells(const SweepGrid& grid,
+                                   std::vector<std::size_t> cells,
+                                   std::size_t batch_id) {
+  ShardSpec spec;
+  spec.shard_index = batch_id;
+  spec.shard_count = 1;
+  spec.mode = ShardMode::kExplicit;
+  spec.grid_fingerprint = grid.fingerprint();
+  spec.grid = grid;
+  spec.cells = std::move(cells);
+  return spec;
 }
 
 }  // namespace ccd::exp

@@ -24,7 +24,10 @@ namespace ccd::exp {
 /// [floor(i*N/K), floor((i+1)*N/K)) -- cache-friendly and trivially
 /// describable; kStrided gives it {c : c mod K == i} -- load-balancing
 /// when cell cost varies systematically along the enumeration order.
-enum class ShardMode : std::uint8_t { kContiguous, kStrided };
+/// kExplicit carries the owned cells verbatim: the dispatcher's dynamic
+/// batches are specs like any other, so workers, checkpoints and the merge
+/// validation need no second code path.
+enum class ShardMode : std::uint8_t { kContiguous, kStrided, kExplicit };
 
 const char* to_string(ShardMode m);
 std::optional<ShardMode> parse_shard_mode(const std::string& s);
@@ -38,6 +41,11 @@ struct ShardSpec {
   /// stale shard must not run, let alone merge).
   std::uint64_t grid_fingerprint = 0;
   SweepGrid grid;
+  /// kExplicit only: the owned cells, strictly ascending.  For the derived
+  /// modes this stays empty and ownership is pure index arithmetic.  For
+  /// explicit specs shard_index is a batch/assignment id (unique per spec
+  /// the dispatcher hands out) and shard_count is not meaningful.
+  std::vector<std::size_t> cells;
 
   /// The cells this shard owns, ascending.  May be empty (K > num_cells):
   /// an empty shard runs nothing and contributes nothing at merge time,
@@ -57,6 +65,14 @@ class ShardPlanner {
   /// exactly once.  Deterministic: same (grid, count, mode) -> same specs.
   static std::vector<ShardSpec> plan(const SweepGrid& grid, std::size_t count,
                                      ShardMode mode = ShardMode::kContiguous);
+
+  /// One explicit-cell spec owning exactly `cells` (must be strictly
+  /// ascending and in range).  `batch_id` lands in shard_index so every
+  /// assignment the dispatcher writes is distinguishable in checkpoints
+  /// and error messages.
+  static ShardSpec plan_cells(const SweepGrid& grid,
+                              std::vector<std::size_t> cells,
+                              std::size_t batch_id);
 };
 
 /// 16-hex-digit rendering used for fingerprints in shard JSON (readable in

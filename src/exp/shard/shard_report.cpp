@@ -133,6 +133,16 @@ std::string ShardReport::to_json() const {
   out += "\",\"grid_fingerprint\":\"" +
          fingerprint_to_hex(shard.grid_fingerprint);
   out += "\",\"grid\":" + shard.grid.to_json();
+  // Explicit (dispatcher-batch) specs name their owned cells outright;
+  // "cell_list" because "cells" already carries the aggregates below.
+  if (shard.mode == ShardMode::kExplicit) {
+    out += ",\"cell_list\":[";
+    for (std::size_t i = 0; i < shard.cells.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(shard.cells[i]);
+    }
+    out += "]";
+  }
   out += ",\"cells\":[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out += ",";
@@ -178,7 +188,11 @@ std::optional<ShardReport> ShardReport::from_json(const std::string& json,
   }
   const std::string* grid_raw = flat->find("grid");
   if (!grid_raw) return fail("missing key 'grid'");
-  spec_json += ",\"grid\":" + *grid_raw + "}";
+  spec_json += ",\"grid\":" + *grid_raw;
+  if (const std::string* cell_list = flat->find("cell_list")) {
+    spec_json += ",\"cells\":" + *cell_list;
+  }
+  spec_json += "}";
 
   ShardReport report;
   std::string spec_error;

@@ -4,102 +4,10 @@
 #include <map>
 #include <mutex>
 
-#include "util/flat_json.hpp"
+#include "exp/shard/checkpoint.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ccd::exp {
-
-namespace {
-
-std::string checkpoint_header(const ShardSpec& shard) {
-  std::string out = "{\"format\":\"ccd-shard-checkpoint-v1\"";
-  out += ",\"grid_fingerprint\":\"" +
-         fingerprint_to_hex(shard.grid_fingerprint);
-  out += "\",\"shard_index\":" + std::to_string(shard.shard_index);
-  out += ",\"shard_count\":" + std::to_string(shard.shard_count);
-  out += ",\"ts_ms\":" + std::to_string(obs::wall_clock_ms());
-  out += "}";
-  return out;
-}
-
-/// Splice heartbeat fields (wall-clock stamp, completing worker) into a
-/// cell marker before its closing brace.  Pure observability: the reader
-/// looks up known keys only, so resume ignores them -- and old checkpoints
-/// without them load the same way.  Replayed cells (rewritten on resume,
-/// not re-executed) carry no worker.
-std::string with_heartbeat(std::string marker, const std::uint32_t* worker) {
-  marker.pop_back();  // cell_aggregate_to_json yields one flat object
-  marker += ",\"ts_ms\":" + std::to_string(obs::wall_clock_ms());
-  if (worker) marker += ",\"worker\":" + std::to_string(*worker);
-  marker += "}";
-  return marker;
-}
-
-/// Parse an existing checkpoint file into completed cell aggregates.
-/// Trailing partial lines (the crash case: the process died mid-write) are
-/// tolerated and dropped; anything else malformed is an error.
-bool load_checkpoint(const ShardSpec& shard, const std::string& path,
-                     std::map<std::size_t, CellAggregate>& completed,
-                     std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return true;  // no file yet: nothing completed
-  std::string line;
-  if (!std::getline(in, line)) return true;  // empty file
-  {
-    auto flat = jsonu::FlatJson::parse(line);
-    const std::string* format = flat ? flat->find("format") : nullptr;
-    if (!format || *format != "ccd-shard-checkpoint-v1") {
-      if (error) {
-        *error = "checkpoint " + path +
-                 ": missing or unknown header (expected "
-                 "ccd-shard-checkpoint-v1)";
-      }
-      return false;
-    }
-    const std::string* fp = flat->find("grid_fingerprint");
-    if (!fp || *fp != fingerprint_to_hex(shard.grid_fingerprint)) {
-      if (error) {
-        *error = "checkpoint " + path + ": grid fingerprint " +
-                 (fp ? *fp : std::string("<missing>")) +
-                 " does not match this shard's grid " +
-                 fingerprint_to_hex(shard.grid_fingerprint) +
-                 " (stale checkpoint from another grid?)";
-      }
-      return false;
-    }
-  }
-  std::size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::string cell_error;
-    auto cell = cell_aggregate_from_json(shard.grid, line, &cell_error);
-    if (!cell) {
-      // A final partial line is the expected crash artifact; only the LAST
-      // line gets that amnesty.
-      if (in.peek() == std::ifstream::traits_type::eof()) break;
-      if (error) {
-        *error = "checkpoint " + path + " line " + std::to_string(line_no) +
-                 ": " + cell_error;
-      }
-      return false;
-    }
-    if (!shard.owns_cell(cell->cell_index)) {
-      if (error) {
-        *error = "checkpoint " + path + " line " + std::to_string(line_no) +
-                 ": cell " + std::to_string(cell->cell_index) +
-                 " is not owned by shard " +
-                 std::to_string(shard.shard_index) + "/" +
-                 std::to_string(shard.shard_count);
-      }
-      return false;
-    }
-    completed[cell->cell_index] = std::move(*cell);
-  }
-  return true;
-}
-
-}  // namespace
 
 std::optional<ShardReport> run_shard(const ShardSpec& shard,
                                      const ShardRunOptions& options,
@@ -115,9 +23,11 @@ std::optional<ShardReport> run_shard(const ShardSpec& shard,
   const std::vector<std::size_t> owned = shard.cell_indices();
   std::map<std::size_t, CellAggregate> completed;
   if (options.resume && !options.checkpoint_path.empty()) {
-    if (!load_checkpoint(shard, options.checkpoint_path, completed, error)) {
+    CheckpointContents contents;
+    if (!load_checkpoint(shard, options.checkpoint_path, &contents, error)) {
       return std::nullopt;
     }
+    completed = std::move(contents.cells);
   }
 
   // Remaining cells and their run indices.  Runs are enumerated in global
@@ -147,8 +57,7 @@ std::optional<ShardReport> run_shard(const ShardSpec& shard,
     checkpoint << checkpoint_header(shard) << "\n";
     for (const auto& [c, cell] : completed) {
       (void)c;
-      checkpoint << with_heartbeat(cell_aggregate_to_json(cell), nullptr)
-                 << "\n";
+      checkpoint << checkpoint_cell_marker(cell, nullptr) << "\n";
     }
     checkpoint << std::flush;
   }
@@ -177,9 +86,7 @@ std::optional<ShardReport> run_shard(const ShardSpec& shard,
     for (const RunRecord* r : slots[c]) accumulate_run(cell, *r);
     obs::Telemetry::thread_sink().add(obs::Counter::kCellsCompleted, 1);
     if (checkpoint.is_open()) {
-      checkpoint << with_heartbeat(cell_aggregate_to_json(cell),
-                                   &record.perf.worker)
-                 << "\n"
+      checkpoint << checkpoint_cell_marker(cell, &record.perf.worker) << "\n"
                  << std::flush;
     }
     fresh_cells[c] = std::move(cell);

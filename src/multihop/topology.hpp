@@ -71,10 +71,16 @@ class Topology {
   /// whose removal leaves >= 2 nodes in >= 2 components.  Among same-size
   /// cuts the most damaging wins (smallest largest surviving component),
   /// lexicographically-first on ties.  Empty when no such cut exists
-  /// (cliques, graphs with < 3 nodes, min cut > max_size).  Brute-force
-  /// combination search, sized for sweep-scale graphs: on graphs larger
-  /// than 64 nodes the search is capped at single vertices (the
-  /// articulation-point regime) to stay O(n * edges).
+  /// (cliques, graphs with < 3 nodes, min cut > max_size).
+  ///
+  /// The cut size is found by BFS max-flow over the split-vertex graph
+  /// (Even's construction: v_in -> v_out at capacity 1), with every flow
+  /// capped at max_size + 1 -- so the cost is O(max_size * n * edges) at
+  /// ANY n, with no small-graph size cap.  The damage ranking then runs
+  /// over all C(n, kappa) size-kappa sets while that count is modest
+  /// (every graph the old brute force could handle, pinned equal by test);
+  /// past ~200k combinations the flow's own min-cut certificates become
+  /// the candidate pool, ranked by the same (damage, lex) rule.
   std::vector<std::uint32_t> min_vertex_cut(std::size_t max_size = 3) const;
 
  private:

@@ -146,7 +146,30 @@ std::string PerfSidecar::to_json() const {
     out += ",\"p50_ns\":" + std::to_string(c.p50_ns);
     out += ",\"p95_ns\":" + std::to_string(c.p95_ns) + "}";
   }
-  out += "]}";
+  out += "]";
+  if (dispatch) {
+    const PerfDispatch& d = *dispatch;
+    out += ",\"dispatch\":{\"workers\":" + std::to_string(d.workers);
+    out += ",\"batches\":" + std::to_string(d.batches);
+    out += ",\"steals\":" + std::to_string(d.steals);
+    out += ",\"requeues\":" + std::to_string(d.requeues);
+    out += ",\"worker_restarts\":" + std::to_string(d.worker_restarts);
+    out += ",\"duplicate_cells\":" + std::to_string(d.duplicate_cells);
+    out += ",\"wall_ns\":" + std::to_string(d.wall_ns);
+    out += ",\"slots\":[";
+    for (std::size_t i = 0; i < d.slots.size(); ++i) {
+      const PerfDispatchSlot& s = d.slots[i];
+      if (i > 0) out += ",";
+      out += "{\"slot\":" + std::to_string(s.slot);
+      out += ",\"batches\":" + std::to_string(s.batches);
+      out += ",\"cells\":" + std::to_string(s.cells);
+      out += ",\"busy_ns\":" + std::to_string(s.busy_ns);
+      out += ",\"busy_permille\":" + std::to_string(s.busy_permille);
+      out += ",\"restarts\":" + std::to_string(s.restarts) + "}";
+    }
+    out += "]}";
+  }
+  out += "}";
   return out;
 }
 
@@ -246,6 +269,47 @@ std::optional<PerfSidecar> PerfSidecar::from_json(const std::string& json,
       return std::nullopt;
     }
     sidecar.cells.push_back(c);
+  }
+
+  // Optional: only dispatcher-merged sidecars carry dispatch totals.
+  if (const std::string* dispatch_raw = flat->find("dispatch")) {
+    auto df = jsonu::FlatJson::parse(*dispatch_raw);
+    if (!df) return fail("'dispatch' is not a flat JSON object");
+    PerfDispatch d;
+    if (!need_u64(*df, "workers", d.workers, error, "'dispatch'") ||
+        !need_u64(*df, "batches", d.batches, error, "'dispatch'") ||
+        !need_u64(*df, "steals", d.steals, error, "'dispatch'") ||
+        !need_u64(*df, "requeues", d.requeues, error, "'dispatch'") ||
+        !need_u64(*df, "worker_restarts", d.worker_restarts, error,
+                  "'dispatch'") ||
+        !need_u64(*df, "duplicate_cells", d.duplicate_cells, error,
+                  "'dispatch'") ||
+        !need_u64(*df, "wall_ns", d.wall_ns, error, "'dispatch'")) {
+      return std::nullopt;
+    }
+    const std::string* slots_raw = df->find("slots");
+    if (!slots_raw) return fail("'dispatch' missing key 'slots'");
+    auto slot_items = jsonu::parse_array_items(*slots_raw);
+    if (!slot_items) return fail("'dispatch'.slots is not a JSON array");
+    for (std::size_t i = 0; i < slot_items->size(); ++i) {
+      const std::string where = "dispatch.slots[" + std::to_string(i) + "]";
+      auto sf = jsonu::FlatJson::parse((*slot_items)[i]);
+      if (!sf) return fail(where + " is not a flat JSON object");
+      PerfDispatchSlot s;
+      std::uint64_t slot_id = 0;
+      if (!need_u64(*sf, "slot", slot_id, error, where.c_str()) ||
+          !need_u64(*sf, "batches", s.batches, error, where.c_str()) ||
+          !need_u64(*sf, "cells", s.cells, error, where.c_str()) ||
+          !need_u64(*sf, "busy_ns", s.busy_ns, error, where.c_str()) ||
+          !need_u64(*sf, "busy_permille", s.busy_permille, error,
+                    where.c_str()) ||
+          !need_u64(*sf, "restarts", s.restarts, error, where.c_str())) {
+        return std::nullopt;
+      }
+      s.slot = static_cast<std::uint32_t>(slot_id);
+      d.slots.push_back(s);
+    }
+    sidecar.dispatch = std::move(d);
   }
   return sidecar;
 }
@@ -347,6 +411,9 @@ std::optional<PerfSidecar> merge_perf_sidecars(
             [](const PerfCell& a, const PerfCell& b) {
               return a.cell_index < b.cell_index;
             });
+  // Dispatch sections never merge: a dispatch run has one dispatcher, and
+  // it stamps its own totals onto the merged sidecar after this returns.
+  merged.dispatch.reset();
   return merged;
 }
 

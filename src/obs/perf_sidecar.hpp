@@ -22,7 +22,10 @@
 //               "threads":T,"runs":N,
 //               "workers":[{"worker":w,"busy_ns":..,"runs":..},...]},...],
 //    "cells":[{"cell":c,"runs":S,"total_ns":..,"min_ns":..,"max_ns":..,
-//              "p50_ns":..,"p95_ns":..},...]}
+//              "p50_ns":..,"p95_ns":..},...],
+//    "dispatch":{...}}          // ccd_dispatch event totals; optional on
+//                               // parse (only dispatcher-merged sidecars
+//                               // carry it)
 #pragma once
 
 #include <cstdint>
@@ -96,6 +99,33 @@ struct PerfCell {
   std::uint64_t p95_ns = 0;
 };
 
+/// One dispatcher worker slot's lifetime totals (a slot hosts a sequence
+/// of worker processes; a restart reuses the slot).
+struct PerfDispatchSlot {
+  std::uint32_t slot = 0;
+  std::uint64_t batches = 0;        ///< assignments spawned on this slot
+  std::uint64_t cells = 0;          ///< completed cells this slot WON
+  std::uint64_t busy_ns = 0;        ///< time a process occupied the slot
+  std::uint64_t busy_permille = 0;  ///< busy_ns * 1000 / dispatch wall_ns
+  std::uint64_t restarts = 0;       ///< nonzero exits charged to the slot
+};
+
+/// Work-stealing dispatcher event totals (ccd_dispatch).  Stamped by the
+/// dispatcher onto the final merged sidecar only; merge_perf_sidecars
+/// DROPS dispatch sections rather than combining them -- a dispatch run
+/// has exactly one dispatcher, so "merging" two would fabricate a fleet
+/// that never existed.
+struct PerfDispatch {
+  std::uint64_t workers = 0;          ///< slots (-j)
+  std::uint64_t batches = 0;          ///< assignments handed out in total
+  std::uint64_t steals = 0;           ///< cells re-queued off stale owners
+  std::uint64_t requeues = 0;         ///< cells re-queued off dead workers
+  std::uint64_t worker_restarts = 0;  ///< processes that died (exit != 0)
+  std::uint64_t duplicate_cells = 0;  ///< second copies discarded on arrival
+  std::uint64_t wall_ns = 0;          ///< dispatch start -> all cells done
+  std::vector<PerfDispatchSlot> slots;
+};
+
 struct PerfSidecar {
   std::uint64_t grid_fingerprint = 0;
   std::uint64_t runs = 0;
@@ -103,6 +133,7 @@ struct PerfSidecar {
   EngineCounters counters;
   std::vector<PerfShardExec> shards;
   std::vector<PerfCell> cells;  ///< ascending cell index
+  std::optional<PerfDispatch> dispatch;  ///< ccd_dispatch runs only
 
   std::string to_json() const;
   static std::optional<PerfSidecar> from_json(const std::string& json,

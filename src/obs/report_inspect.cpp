@@ -1004,6 +1004,29 @@ bool parse_bench_object(const std::string& raw,
     }
     return true;
   }
+  if (*bench == "dispatch_steal") {
+    const std::string* grid = flat->find("grid");
+    const std::string* workers = flat->find("workers");
+    if (!grid || !workers) {
+      return set_error(error, "dispatch_steal missing 'grid'/'workers'");
+    }
+    BenchEntry entry;
+    for (const char* key :
+         {"static_wall_ns", "dynamic_wall_ns", "speedup", "steals"}) {
+      const std::string* v = flat->find(key);
+      double value = 0;
+      if (!v || !parse_double_text(*v, &value)) {
+        return set_error(error,
+                         std::string("dispatch_steal missing '") + key + "'");
+      }
+      entry.metrics[key] = value;
+    }
+    // Absolute walls are machine physics; the dynamic-vs-static speedup is
+    // machine-relative and is what the gate watches.
+    entry.gated.insert("speedup");
+    (*entries)["dispatch:" + *grid + "/w" + *workers] = std::move(entry);
+    return true;
+  }
   return set_error(error, "unknown bench kind '" + *bench + "'");
 }
 

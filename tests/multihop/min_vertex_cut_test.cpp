@@ -1,0 +1,230 @@
+// Topology::min_vertex_cut: the BFS max-flow implementation (split-vertex
+// graph, Even's construction) against the original brute-force
+// combination search, pinned EQUAL on every graph the old code could
+// handle -- same cut, same damage ranking, same lexicographic tie-break.
+// Then the lifted limits: cuts of size >= 2 on graphs larger than the old
+// 64-node cap, which the brute force priced out.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "multihop/topology.hpp"
+
+namespace ccd {
+namespace {
+
+/// The pre-max-flow reference implementation, verbatim minus the n > 64
+/// single-vertex cap (tests only call it where enumeration is affordable).
+std::vector<std::uint32_t> reference_cut(const Topology& topo,
+                                         std::size_t max_size) {
+  const std::size_t n = topo.size();
+  if (n < 3) return {};
+
+  std::vector<bool> removed(n, false);
+  std::vector<bool> seen(n, false);
+  std::deque<std::uint32_t> queue;
+  auto damage = [&](const std::vector<std::uint32_t>& cut) -> std::size_t {
+    std::fill(removed.begin(), removed.end(), false);
+    for (std::uint32_t v : cut) removed[v] = true;
+    std::fill(seen.begin(), seen.end(), false);
+    std::size_t components = 0, survivors = 0, largest = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (removed[s] || seen[s]) continue;
+      ++components;
+      std::size_t count = 0;
+      seen[s] = true;
+      queue.push_back(static_cast<std::uint32_t>(s));
+      while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        ++count;
+        for (std::uint32_t w : topo.neighbors(u)) {
+          if (!removed[w] && !seen[w]) {
+            seen[w] = true;
+            queue.push_back(w);
+          }
+        }
+      }
+      survivors += count;
+      largest = std::max(largest, count);
+    }
+    if (components < 2 || survivors < 2) return n;
+    return largest;
+  };
+
+  std::vector<std::uint32_t> best;
+  for (std::size_t k = 1; k <= max_size && k + 2 <= n; ++k) {
+    std::size_t best_damage = n;
+    std::vector<std::uint32_t> pick(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      pick[i] = static_cast<std::uint32_t>(i);
+    }
+    while (true) {
+      const std::size_t d = damage(pick);
+      if (d < best_damage) {
+        best_damage = d;
+        best = pick;
+      }
+      bool advanced = false;
+      for (std::size_t i = k; i-- > 0;) {
+        if (pick[i] + (k - i) < n) {
+          ++pick[i];
+          for (std::size_t j = i + 1; j < k; ++j) {
+            pick[j] = pick[j - 1] + 1;
+          }
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) break;
+    }
+    if (!best.empty()) return best;
+  }
+  return best;
+}
+
+void expect_matches_reference(const Topology& topo, const char* what) {
+  for (std::size_t max_size : {1, 2, 3}) {
+    EXPECT_EQ(topo.min_vertex_cut(max_size), reference_cut(topo, max_size))
+        << what << " n=" << topo.size() << " max_size=" << max_size;
+  }
+}
+
+/// Largest surviving component after removing `cut`, or n when the
+/// removal does not separate -- the ranking metric, re-derived here so the
+/// capability tests don't trust the implementation under test.
+std::size_t damage_of(const Topology& topo,
+                      const std::vector<std::uint32_t>& cut) {
+  const std::size_t n = topo.size();
+  std::vector<bool> removed(n, false), seen(n, false);
+  for (std::uint32_t v : cut) removed[v] = true;
+  std::size_t components = 0, survivors = 0, largest = 0;
+  std::deque<std::uint32_t> queue;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (removed[s] || seen[s]) continue;
+    ++components;
+    std::size_t count = 0;
+    seen[s] = true;
+    queue.push_back(static_cast<std::uint32_t>(s));
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop_front();
+      ++count;
+      for (std::uint32_t w : topo.neighbors(u)) {
+        if (!removed[w] && !seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    survivors += count;
+    largest = std::max(largest, count);
+  }
+  if (components < 2 || survivors < 2) return n;
+  return largest;
+}
+
+TEST(MinVertexCutTest, MatchesBruteForceOnLines) {
+  for (std::size_t n = 3; n <= 12; ++n) {
+    expect_matches_reference(Topology::line(n), "line");
+  }
+}
+
+TEST(MinVertexCutTest, MatchesBruteForceOnRings) {
+  for (std::size_t n = 3; n <= 12; ++n) {
+    expect_matches_reference(Topology::ring(n), "ring");
+  }
+}
+
+TEST(MinVertexCutTest, MatchesBruteForceOnGrids) {
+  for (std::size_t n : {4, 6, 9, 12, 16, 20, 25}) {
+    expect_matches_reference(Topology::grid_n(n), "grid_n");
+  }
+  expect_matches_reference(Topology::grid(5, 3), "grid5x3");
+  expect_matches_reference(Topology::grid(2, 7), "grid2x7");
+}
+
+TEST(MinVertexCutTest, MatchesBruteForceOnCliques) {
+  // No cut exists: every removal leaves one component.
+  for (std::size_t n = 3; n <= 8; ++n) {
+    expect_matches_reference(Topology::clique(n), "clique");
+  }
+}
+
+TEST(MinVertexCutTest, MatchesBruteForceOnRandomGeometric) {
+  // Radii span disconnected dust through near-clique; the disconnected
+  // instances exercise the size-1 fast path on both sides.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (double radius : {0.25, 0.4, 0.6}) {
+      expect_matches_reference(Topology::random_geometric(16, radius, seed),
+                               "rgg16");
+      expect_matches_reference(Topology::random_geometric(24, radius, seed),
+                               "rgg24");
+    }
+  }
+}
+
+TEST(MinVertexCutTest, MatchesBruteForceAtTheOldSizeCap) {
+  // n = 48..64 was the upper end of the brute-force regime; the max-flow
+  // path must agree there too (the enumeration budget covers C(64, 3)).
+  expect_matches_reference(Topology::ring(48), "ring48");
+  expect_matches_reference(Topology::grid_n(49), "grid49");
+  expect_matches_reference(Topology::ring(64), "ring64");
+}
+
+TEST(MinVertexCutTest, FindsSize2CutsPastTheOldCap) {
+  // The old implementation capped graphs over 64 nodes to single-vertex
+  // cuts, so a 128-ring -- vertex connectivity exactly 2 -- came back
+  // empty.  The max-flow search finds the cut, and the damage ranking
+  // still picks the most balanced, lexicographically-first split.
+  const auto cut = Topology::ring(128).min_vertex_cut();
+  EXPECT_EQ(cut, (std::vector<std::uint32_t>{0, 64}));
+  EXPECT_EQ(damage_of(Topology::ring(128), cut), 63u);
+}
+
+TEST(MinVertexCutTest, LargeLadderHasBalancedRungCut) {
+  // 2 x 100 ladder: connectivity 2, and C(200, 2) is still inside the
+  // enumeration budget, so the selection matches what the brute force
+  // WOULD have chosen if it could run.
+  const Topology ladder = Topology::grid(2, 100);
+  const auto cut = ladder.min_vertex_cut();
+  ASSERT_EQ(cut.size(), 2u);
+  const std::size_t d = damage_of(ladder, cut);
+  EXPECT_LT(d, ladder.size());
+  EXPECT_LE(d, 100u);  // within 2 nodes of the perfect 99/99 split
+  // Minimality: no single vertex disconnects a ladder.
+  EXPECT_TRUE(ladder.min_vertex_cut(1).empty());
+}
+
+TEST(MinVertexCutTest, LargeCliqueStaysEmptyCheaply) {
+  // No non-adjacent pair exists, so the flow search proves "no cut" with
+  // zero flow computations -- the old code burned C(70, 1) damage sweeps
+  // to conclude the same.
+  EXPECT_TRUE(Topology::clique(70).min_vertex_cut().empty());
+}
+
+TEST(MinVertexCutTest, BudgetExceededStillReturnsAMinimumCut) {
+  // 2 x 400 ladder: C(800, 2) overflows the enumeration budget, so the
+  // result comes from the flow's own min-cut certificates.  It must still
+  // be a genuine minimum cut: size 2, separating, and no size-1 cut
+  // exists.
+  const Topology ladder = Topology::grid(2, 400);
+  const auto cut = ladder.min_vertex_cut();
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_LT(damage_of(ladder, cut), ladder.size());
+  EXPECT_TRUE(ladder.min_vertex_cut(1).empty());
+}
+
+TEST(MinVertexCutTest, MaxSizeZeroAndTinyGraphsAreEmpty) {
+  EXPECT_TRUE(Topology::line(2).min_vertex_cut().empty());
+  EXPECT_TRUE(Topology::ring(10).min_vertex_cut(0).empty());
+  // Ring connectivity is 2: a budget of 1 must return empty, not a
+  // "best effort" single vertex.
+  EXPECT_TRUE(Topology::ring(10).min_vertex_cut(1).empty());
+}
+
+}  // namespace
+}  // namespace ccd

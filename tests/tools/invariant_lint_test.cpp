@@ -69,10 +69,16 @@ TEST(InvariantLint, BadTreeFailsWithKeyedDiagnosticsForEveryRule) {
   EXPECT_NE(
       r.output.find("src/weird/r3_unknown.cpp:1: error: [R3.unknown_layer]"),
       std::string::npos);
+  // R3: dispatcher sub-layer isolation (a plain up-DAG check would miss
+  // this -- exp outranks engine, so only the dispatch rule fires).
+  EXPECT_NE(r.output.find(
+                "src/exp/dispatch/r3_dispatch.cpp:3: error: [R3.dispatch]"),
+            std::string::npos)
+      << r.output;
   // R4: float accumulation in a report path.
   EXPECT_NE(r.output.find("src/exp/r4_acc.cpp:5: error: [R4.float_accum]"),
             std::string::npos);
-  EXPECT_NE(r.output.find("12 error(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("13 error(s)"), std::string::npos) << r.output;
 }
 
 TEST(InvariantLint, GoodTreeIsClean) {
@@ -132,7 +138,7 @@ TEST(InvariantLint, ListRulesPrintsCatalog) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   for (const char* key :
        {"R1.rand", "R1.wall_clock", "R1.unordered", "R2.raw_engine",
-        "R3.layering", "R4.float_accum"}) {
+        "R3.layering", "R3.dispatch", "R4.float_accum"}) {
     EXPECT_NE(r.output.find(key), std::string::npos) << key;
   }
 }

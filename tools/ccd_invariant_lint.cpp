@@ -22,6 +22,11 @@
 //                   in particular obs/ can never include engine decision
 //                   headers, so telemetry cannot feed back into execution
 //   R3.unknown_layer a src/ subdirectory missing from the declared DAG
+//   R3.dispatch     src/exp/dispatch/ including a compute-layer header
+//                   (engine, sim, consensus, multihop, lowerbound); the
+//                   dispatcher supervises worker PROCESSES and must never
+//                   compute results in-process -- all execution reaches it
+//                   through ccd_sweep workers and shard files
 //   R4.float_accum  float/double `+=` folds in report/aggregation paths
 //                   (order-sensitive; breaks byte-identical merges)
 //
@@ -94,6 +99,7 @@ const RuleDoc kRuleDocs[] = {
     {"R2.raw_engine", "raw std:: random engines outside src/util/"},
     {"R3.layering", "#include edge violates the layer DAG"},
     {"R3.unknown_layer", "src/ subdirectory missing from the layer DAG"},
+    {"R3.dispatch", "src/exp/dispatch/ includes a compute-layer header"},
     {"R4.float_accum", "float/double += fold in report/aggregation path"},
     {"allowlist.stale", "allowlist entry suppressed nothing"},
     {"allowlist.missing_justification", "allowlist entry lacks '# why'"},
@@ -385,6 +391,21 @@ void check_includes(const ScannedFile& file,
             const std::size_t slash = target.find('/');
             if (slash != std::string::npos &&
                 !kHeaderRankOverrides.count(target)) {
+              // Sub-layer isolation: the dispatcher is a process
+              // supervisor.  Pulling a compute layer in would let it
+              // execute runs in-process, bypassing the worker/shard-file
+              // seam every determinism guarantee hangs on.
+              static const std::set<std::string> kComputeLayers = {
+                  "consensus", "engine", "lowerbound", "multihop", "sim"};
+              if (starts_with(file.path, "src/exp/dispatch/") &&
+                  kComputeLayers.count(target.substr(0, slash))) {
+                emit(out, "R3.dispatch", file, line_of(lines, pos),
+                     "include of \"" + target +
+                         "\" from src/exp/dispatch/: the dispatcher "
+                         "supervises worker processes and must never "
+                         "compute in-process; execution reaches it only "
+                         "through ccd_sweep workers and shard files");
+              }
               const auto it = kLayerRanks.find(target.substr(0, slash));
               if (it != kLayerRanks.end() && it->second > own_rank) {
                 emit(out, "R3.layering", file, line_of(lines, pos),

@@ -24,6 +24,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/aggregator.hpp"
@@ -590,11 +592,12 @@ int main(int argc, char** argv) {
     } else if (flag == "--shard-mode") {
       const char* v = next();
       auto m = v ? parse_shard_mode(v) : std::nullopt;
-      ok = m.has_value();
+      ok = m.has_value() && *m != ShardMode::kExplicit;
       if (!ok) {
         std::fprintf(stderr,
                      "ccd_sweep: bad shard-mode value '%s' (expected "
-                     "contiguous or strided)\n",
+                     "contiguous or strided; explicit specs are written by "
+                     "ccd_dispatch, not planned here)\n",
                      v ? v : "");
       }
       if (ok) shard_mode = *m;
@@ -803,6 +806,24 @@ int main(int argc, char** argv) {
                    spec.shard_index, spec.shard_count, to_string(spec.mode),
                    spec.cell_indices().size(), spec.grid.num_cells(),
                    spec.grid.seeds_per_cell);
+    }
+    // Test/bench-only throttle: CCD_SWEEP_TEST_RUN_DELAY_MS sleeps after
+    // every completed run, simulating slow hardware without touching a
+    // byte of the report (on_record is pure observation).  ccd_dispatch's
+    // tests and ccd_dispatch_bench use it to fabricate slow/stalling
+    // workers deterministically.
+    if (const char* delay_env = std::getenv("CCD_SWEEP_TEST_RUN_DELAY_MS")) {
+      std::uint64_t delay_ms = 0;
+      if (parse_u64_flag(delay_env, "CCD_SWEEP_TEST_RUN_DELAY_MS",
+                         delay_ms) &&
+          delay_ms > 0) {
+        auto inner = shard_options.sweep.on_record;
+        shard_options.sweep.on_record = [inner,
+                                         delay_ms](const RunRecord& r) {
+          if (inner) inner(r);
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        };
+      }
     }
     std::string error;
     auto report = run_shard(spec, shard_options, &error);
